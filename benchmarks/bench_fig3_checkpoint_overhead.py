@@ -1,0 +1,99 @@
+"""Figure 3 — checkpoint overhead.
+
+Paper: execution time of (1) the original benchmark, (2) checkpointing
+via classic invasive techniques, (3) checkpointing via pluggable
+parallelisation (PP), each with 0 or 1 checkpoints taken, across
+sequential, 2-16 lines of execution (threads) and 2-32 processes.
+
+Expected shape: counting safe points costs <~1%; PP adds nothing over
+invasive; the only visible cost is actually saving the data (1-ckpt
+columns).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import (
+    PAPER_CLUSTER,
+    SOR_ITERS,
+    SOR_N,
+    le_config,
+    p_config,
+    run_pp_sor,
+)
+from paper_report import FigureReport
+from repro.baselines import run_mpi_sor, run_sequential_sor, run_threads_sor
+from repro.ckpt.policy import AtCounts, Never
+from repro.ckpt.store import CheckpointStore
+
+LE_SERIES = [1, 2, 4, 8, 16]
+P_SERIES = [2, 4, 8, 16, 32]
+ONE_CKPT_AT = SOR_ITERS // 2
+
+
+def _original(env: str, k: int, tmp) -> float:
+    if env == "LE":
+        if k == 1:
+            return run_sequential_sor(n=SOR_N, iterations=SOR_ITERS,
+                                      machine=PAPER_CLUSTER).vtime
+        return run_threads_sor(k, n=SOR_N, iterations=SOR_ITERS,
+                               machine=PAPER_CLUSTER).vtime
+    return run_mpi_sor(k, n=SOR_N, iterations=SOR_ITERS,
+                       machine=PAPER_CLUSTER).vtime
+
+
+def _invasive(env: str, k: int, tmp, ckpts: int) -> float:
+    store = CheckpointStore(tmp / f"inv-{env}-{k}-{ckpts}")
+    every = ONE_CKPT_AT if ckpts else None
+    # ckpt_every == ONE_CKPT_AT with SOR_ITERS < 2*ONE_CKPT_AT+1 -> 1 save
+    if env == "LE":
+        if k == 1:
+            return run_sequential_sor(n=SOR_N, iterations=SOR_ITERS,
+                                      machine=PAPER_CLUSTER, store=store,
+                                      ckpt_every=every).vtime
+        return run_threads_sor(k, n=SOR_N, iterations=SOR_ITERS,
+                               machine=PAPER_CLUSTER, store=store,
+                               ckpt_every=every).vtime
+    return run_mpi_sor(k, n=SOR_N, iterations=SOR_ITERS,
+                       machine=PAPER_CLUSTER, store=store,
+                       ckpt_every=every).vtime
+
+
+def _pp(env: str, k: int, tmp, ckpts: int) -> float:
+    policy = AtCounts([ONE_CKPT_AT]) if ckpts else Never()
+    config = le_config(k) if env == "LE" else p_config(k)
+    _, res = run_pp_sor(config, tmp / f"pp-{env}-{k}-{ckpts}", policy=policy)
+    return res.vtime
+
+
+@pytest.mark.parametrize("env,series", [("LE", LE_SERIES), ("P", P_SERIES)],
+                         ids=["threads", "processes"])
+def test_fig3_checkpoint_overhead(benchmark, tmp_path, env, series):
+    report = FigureReport(
+        f"Figure 3 ({env})", "Checkpoint overhead (virtual seconds)",
+        ["config", "original", "invasive 0ck", "invasive 1ck",
+         "PP 0ck", "PP 1ck", "PP0/orig", "PP1/orig"])
+
+    def experiment():
+        for k in series:
+            label = "seq" if (env == "LE" and k == 1) else f"{k} {env}"
+            orig = _original(env, k, tmp_path)
+            inv0 = _invasive(env, k, tmp_path, 0)
+            inv1 = _invasive(env, k, tmp_path, 1)
+            pp0 = _pp(env, k, tmp_path, 0)
+            pp1 = _pp(env, k, tmp_path, 1)
+            report.add(label, orig, inv0, inv1, pp0, pp1,
+                       pp0 / orig, pp1 / orig)
+        return report
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report.emit(benchmark)
+
+    # paper claims (shape assertions, generous tolerances for timer noise):
+    by_label = {r[0]: r for r in report.rows}
+    for label, (_, orig, _inv0, _inv1, pp0, pp1, *_ratios) in by_label.items():
+        # 0-checkpoint runs pay only safe-point counting: small overhead
+        assert pp0 <= orig * 1.35, f"{label}: counting overhead too high"
+        # taking one checkpoint is visible but bounded
+        assert pp1 <= orig * 1.8, f"{label}: single save dominates run"

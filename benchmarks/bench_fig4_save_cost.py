@@ -1,0 +1,56 @@
+"""Figure 4 — time to save checkpoint data.
+
+Paper: the cost of one checkpoint save per environment.  Most of the
+cost is writing the application data (the sequential baseline); shared
+memory adds slightly (a barrier pair); distributed memory adds more (the
+partitioned data is collected at the root), worst at 32 P where the data
+crosses machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SOR_ITERS, le_config, p_config, run_pp_sor
+from paper_report import FigureReport
+from repro.ckpt.policy import AtCounts, Never
+
+CONFIGS = [("seq", le_config(1))] + \
+    [(f"{k} LE", le_config(k)) for k in (2, 4, 8, 16)] + \
+    [(f"{k} P", p_config(k)) for k in (2, 4, 8, 16, 32)]
+
+CKPT_AT = SOR_ITERS // 2
+
+
+def test_fig4_save_cost(benchmark, tmp_path):
+    report = FigureReport(
+        "Figure 4", "Time to save checkpoint data (virtual seconds)",
+        ["config", "no ckpt", "one ckpt", "save cost", "io portion"])
+
+    def experiment():
+        for label, config in CONFIGS:
+            _, res0 = run_pp_sor(config, tmp_path / f"f4-0-{label}",
+                                 policy=Never())
+            _, res1 = run_pp_sor(config, tmp_path / f"f4-1-{label}",
+                                 policy=AtCounts([CKPT_AT]))
+            ck = res1.events.of_kind("checkpoint")
+            io = ck[-1].data["save_seconds"] if ck else 0.0
+            report.add(label, res0.vtime, res1.vtime,
+                       res1.vtime - res0.vtime, io)
+        return report
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report.emit(benchmark)
+
+    cost = {r[0]: r[3] for r in report.rows}
+    seq = cost["seq"]
+    assert seq > 0, "saving must cost something"
+    # paper shape 1: the LE series stays close to the sequential cost
+    # (only a barrier pair on top of the write)
+    for k in (2, 4, 8, 16):
+        assert cost[f"{k} LE"] == pytest.approx(seq, rel=0.5)
+    # paper shape 2: distributed saves cost more (root collects the data)
+    assert cost["16 P"] > seq
+    # paper shape 3: 32 P is the worst case (inter-machine gather)
+    assert cost["32 P"] > cost["16 P"] * 1.03
+    assert cost["32 P"] > seq * 1.05

@@ -1,0 +1,58 @@
+"""Figure 5 — restart overhead after a failure at 100 safe points.
+
+Paper: the run fails after 100 safe points; restart replays the
+application (cheap — ignorable methods are skipped, only safe points are
+counted) and loads the checkpoint (dominant — and higher in distributed
+memory, where the loaded data must also be scattered across processes,
+worst at 32 P).
+"""
+
+from __future__ import annotations
+
+from conftest import le_config, p_config, run_pp_sor
+from paper_report import FigureReport
+from repro.ckpt.failure import FailureInjector
+from repro.ckpt.policy import AtCounts
+
+CONFIGS = [("seq", le_config(1))] + \
+    [(f"{k} LE", le_config(k)) for k in (2, 4, 8, 16)] + \
+    [(f"{k} P", p_config(k)) for k in (2, 4, 8, 16, 32)]
+
+FAIL_AT = 101
+CKPT_AT = 100
+ITERS = 120
+
+
+def test_fig5_restart_overhead(benchmark, tmp_path):
+    report = FigureReport(
+        "Figure 5", "Restart overhead after failure at 100 safe points "
+        "(virtual seconds)",
+        ["config", "replay", "load", "restart total"])
+
+    def experiment():
+        for label, config in CONFIGS:
+            _, res = run_pp_sor(
+                config, tmp_path / f"f5-{label}", policy=AtCounts([CKPT_AT]),
+                iterations=ITERS, injector=FailureInjector(fail_at=FAIL_AT),
+                auto_recover=True)
+            assert res.restarts == 1
+            restart_phase = res.phases[1]
+            restore = [e for e in res.events.of_kind("restore")
+                       if e.rank == 0][-1]
+            load = restore.data["load_seconds"]
+            replay = restore.vtime - restart_phase.start_vtime - load
+            total = restore.vtime - restart_phase.start_vtime
+            report.add(label, replay, load, total)
+        return report
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report.emit(benchmark)
+
+    rows = {r[0]: r for r in report.rows}
+    for label, (_, replay, load, _total) in rows.items():
+        # paper shape 1: the restart is dominated by loading, not replay
+        assert load > replay, f"{label}: replay should be cheap"
+    # paper shape 2: distributed load costs more (data is scattered)
+    assert rows["16 P"][2] > rows["seq"][2]
+    # paper shape 3: 32 P worst (scatter crosses machines)
+    assert rows["32 P"][2] >= rows["16 P"][2]

@@ -1,0 +1,59 @@
+"""Figure 7 — run-time adaptation vs checkpoint/restart adaptation.
+
+Paper: the application starts on 2, 4 or 8 lines of execution and 16
+become available mid-run.  Expanding through the run-time protocol (grow
+the team, replaying the region for the new threads) always wins over
+checkpoint/restart; for 8 -> 16 the restart overhead exceeds the gain
+("the restart overhead increases the execution time when adapting from 8
+to 16 LE").
+"""
+
+from __future__ import annotations
+
+from conftest import le_config, run_pp_sor
+from paper_report import FigureReport
+from repro.ckpt.policy import AtCounts, Never
+from repro.core import AdaptStep, AdaptationPlan, ExecConfig
+
+ITERS = 60
+ADAPT_AT = 15
+TARGET = 16
+
+
+def test_fig7_expansion_runtime_vs_restart(benchmark, tmp_path):
+    report = FigureReport(
+        "Figure 7", f"Expansion to {TARGET} LE at safe point {ADAPT_AT} "
+        "(virtual seconds)",
+        ["start", "no adaptation", "run-time", "restart-based"])
+
+    def experiment():
+        for start in (2, 4, 8):
+            _, stay = run_pp_sor(le_config(start), tmp_path / f"f7-s{start}",
+                                 iterations=ITERS, policy=Never())
+            live_plan = AdaptationPlan(
+                [AdaptStep(ADAPT_AT, ExecConfig.shared(TARGET))])
+            _, live = run_pp_sor(le_config(start), tmp_path / f"f7-l{start}",
+                                 iterations=ITERS, plan=live_plan)
+            restart_plan = AdaptationPlan(
+                [AdaptStep(ADAPT_AT, ExecConfig.shared(TARGET),
+                           via_restart=True)])
+            _, rst = run_pp_sor(le_config(start), tmp_path / f"f7-r{start}",
+                                iterations=ITERS,
+                                policy=AtCounts([ADAPT_AT]),
+                                plan=restart_plan)
+            report.add(f"{start} LE", stay.vtime, live.vtime, rst.vtime)
+        return report
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report.emit(benchmark)
+
+    rows = {r[0]: r for r in report.rows}
+    for start in (2, 4, 8):
+        _, stay, live, rst = rows[f"{start} LE"]
+        # paper shape 1: run-time adaptation always beats restart-based
+        assert live < rst, f"{start} LE: restart should cost more"
+    # paper shape 2: expanding pays off from small starts
+    assert rows["2 LE"][2] < rows["2 LE"][1]
+    assert rows["4 LE"][2] < rows["4 LE"][1]
+    # paper shape 3: restart-based 8 -> 16 is not worth it
+    assert rows["8 LE"][3] > rows["8 LE"][1]

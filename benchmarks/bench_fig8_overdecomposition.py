@@ -1,0 +1,51 @@
+"""Figure 8 — the cost of adapting through over-decomposition.
+
+Paper: running SOR with an over-decomposition factor ``of`` (processes
+per processing element) on a 16-processor machine; of=16 (256 processes)
+takes the execution from ~5 s to ~15 s, i.e. a ~3x blow-up — the
+motivation for reshaping the parallelism instead of over-decomposing.
+"""
+
+from __future__ import annotations
+
+from paper_report import FigureReport
+from repro.baselines import run_overdecomposed_sor
+from repro.vtime.machine import MachineModel
+
+#: the paper's "16-processor machine".
+MACHINE_16 = MachineModel(nodes=2, cores_per_node=8)
+FACTORS = [1, 2, 4, 8, 16]
+N = 512
+ITERS = 20
+
+
+def test_fig8_overdecomposition(benchmark, tmp_path):
+    report = FigureReport(
+        "Figure 8", "Over-decomposition on 16 processors "
+        "(virtual seconds)",
+        ["of", "processes", "time", "slowdown vs of=1"])
+
+    def experiment():
+        results = {}
+        for of in FACTORS:
+            res = run_overdecomposed_sor(of, MACHINE_16, n=N,
+                                         iterations=ITERS)
+            results[of] = res
+        base = results[1].vtime
+        for of in FACTORS:
+            report.add(of, of * MACHINE_16.total_cores, results[of].vtime,
+                       results[of].vtime / base)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report.emit(benchmark)
+
+    times = [results[of].vtime for of in FACTORS]
+    # results stay correct under over-decomposition
+    checks = {results[of].checksum for of in FACTORS}
+    assert len(checks) == 1
+    # paper shape 1: monotone growth with the factor
+    assert all(a < b for a, b in zip(times, times[1:]))
+    # paper shape 2: of=16 lands near the paper's ~3x (broad band)
+    slowdown = times[-1] / times[0]
+    assert 2.0 <= slowdown <= 6.0, f"of=16 slowdown {slowdown:.2f}"

@@ -1,0 +1,63 @@
+"""Reporting helpers: print and persist paper-style series.
+
+Each figure benchmark produces the same rows/series the paper plots.
+Because pytest captures stdout, every report is also written to
+``benchmarks/results/<figure>.txt`` so the regenerated series survive a
+quiet run; attach the rows to ``benchmark.extra_info`` as well and they
+land in pytest-benchmark's JSON when ``--benchmark-json`` is used.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class FigureReport:
+    """Collects labelled rows for one paper figure and renders a table."""
+
+    def __init__(self, figure: str, title: str,
+                 columns: list[str]) -> None:
+        self.figure = figure
+        self.title = title
+        self.columns = columns
+        self.rows: list[list[object]] = []
+
+    def add(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values")
+        self.rows.append(list(values))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        widths = [max(len(str(c)), *(len(_fmt(r[i])) for r in self.rows))
+                  if self.rows else len(str(c))
+                  for i, c in enumerate(self.columns)]
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append("  ".join(_fmt(v).ljust(w)
+                                   for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def emit(self, benchmark=None) -> None:
+        text = self.render()
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{self.figure.lower().replace(' ', '_')}.txt"
+        out.write_text(text + os.linesep)
+        if benchmark is not None:
+            benchmark.extra_info["figure"] = self.figure
+            benchmark.extra_info["columns"] = self.columns
+            benchmark.extra_info["rows"] = [
+                [_fmt(v) for v in r] for r in self.rows]
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    return str(v)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that offline environments lacking the ``wheel`` package can still do an
+editable install via the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — pluggable parallelisation with checkpointing and run-time
+adaptation.
+
+A from-scratch Python reproduction of Medeiros & Sobral, "Checkpoint and
+Run-Time Adaptation with Pluggable Parallelisation" (ICPP 2011):
+
+* write plain sequential domain classes;
+* declare parallelisation, checkpointing and adaptation concerns in
+  separate, composable :class:`~repro.core.PlugSet` modules;
+* weave with :func:`~repro.core.plug` and execute the same code base
+  sequentially, on a thread team, on a (simulated) cluster, or hybrid —
+  with application-level checkpointing and run-time reshaping for free.
+
+Subpackages: :mod:`repro.core` (templates/weaver/runtime),
+:mod:`repro.smp` (thread teams), :mod:`repro.dsm` (simulated cluster),
+:mod:`repro.ckpt` (checkpointing), :mod:`repro.vtime` (virtual time),
+:mod:`repro.grid` (resource volatility), :mod:`repro.apps` (JGF-style
+workloads), :mod:`repro.baselines` (invasive/fixed/over-decomposed
+comparators).
+"""
+
+from repro.core import (
+    AdaptStep,
+    AdaptationPlan,
+    ExecConfig,
+    Mode,
+    PlugSet,
+    RunResult,
+    Runtime,
+    plug,
+    unplug,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptStep",
+    "AdaptationPlan",
+    "ExecConfig",
+    "Mode",
+    "PlugSet",
+    "RunResult",
+    "Runtime",
+    "__version__",
+    "plug",
+    "unplug",
+]

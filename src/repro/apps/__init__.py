@@ -1,0 +1,39 @@
+"""Workloads: Python ports of the JGF kernels the paper's line of work
+uses, plus the evolutionary-computation mini-framework of its ref [20].
+
+Every app follows the pluggable-parallelisation discipline:
+
+* the module here contains **only domain-specific code** — plain classes
+  that run sequentially and know nothing about threads, ranks,
+  checkpoints or adaptation;
+* the corresponding module in :mod:`repro.apps.plugs` contains the
+  parallelisation / checkpointing declarations (the paper's separate
+  "file" of templates, cf. its Figure 1).
+
+Kernels: SOR (the paper's evaluation benchmark), Series (its Figure 1
+example), Crypt, SparseMatMult, MonteCarlo, MolDyn, and the evolutionary
+GA framework.
+"""
+
+from repro.apps.crypt import Crypt
+from repro.apps.evo import EvolutionaryOptimizer, OneMax, Rastrigin, Sphere
+from repro.apps.lufact import LUFact
+from repro.apps.moldyn import MolDyn
+from repro.apps.montecarlo import MonteCarloPricer
+from repro.apps.series import Series
+from repro.apps.sor import SOR
+from repro.apps.sparse import SparseMatMult
+
+__all__ = [
+    "Crypt",
+    "EvolutionaryOptimizer",
+    "LUFact",
+    "MolDyn",
+    "MonteCarloPricer",
+    "OneMax",
+    "Rastrigin",
+    "SOR",
+    "Series",
+    "SparseMatMult",
+    "Sphere",
+]

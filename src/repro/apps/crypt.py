@@ -1,0 +1,184 @@
+"""JGF Crypt: IDEA encryption / decryption over a byte array.
+
+The International Data Encryption Algorithm operating on 8-byte blocks,
+vectorised with numpy uint16/uint32 arithmetic.  Embarrassingly parallel
+across blocks: the work-shared loop ranges over block indices, and the
+plaintext/ciphertext arrays partition block-wise.
+
+Domain code only — plugs in :mod:`repro.apps.plugs.crypt_plugs`.
+Validation: ``decrypt(encrypt(x)) == x`` for the full array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+_MOD = 0x10001  # 2^16 + 1, the IDEA multiplicative modulus
+
+
+def _mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """IDEA multiplication mod 2^16+1 where 0 represents 2^16."""
+    a32 = a.astype(np.int64)
+    b32 = b.astype(np.int64)
+    a32 = np.where(a32 == 0, 0x10000, a32)
+    b32 = np.where(b32 == 0, 0x10000, b32)
+    return ((a32 * b32) % _MOD & 0xFFFF).astype(np.uint16)
+
+
+def _mul_inv(x: int) -> int:
+    """Multiplicative inverse mod 2^16+1 (0 stands for 2^16)."""
+    v = 0x10000 if x == 0 else x
+    return pow(v, _MOD - 2, _MOD) & 0xFFFF
+
+
+def _add_inv(x: int) -> int:
+    return (-x) & 0xFFFF
+
+
+class Crypt:
+    """IDEA over ``n`` bytes (rounded down to whole 8-byte blocks)."""
+
+    ROUNDS = 8
+
+    def __init__(self, n: int = 8192, seed: int = 99) -> None:
+        if n < 8:
+            raise ValueError("need at least one 8-byte block")
+        rng = seeded_rng(seed)
+        self.nblocks = n // 8
+        # one cipher block per row so block-wise layouts never split a block
+        self.plain = rng.integers(0, 256, (self.nblocks, 8), dtype=np.uint8)
+        self.crypt = np.zeros_like(self.plain)
+        self.decrypted = np.zeros_like(self.plain)
+        user_key = rng.integers(0, 1 << 16, 8, dtype=np.uint16)
+        self.ekey = self._expand_key(user_key)
+        self.dkey = self._invert_key(self.ekey)
+        self.blocks_done = 0
+
+    # ------------------------------------------------------------------
+    # key schedule
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expand_key(user_key: np.ndarray) -> np.ndarray:
+        z = np.zeros(52, dtype=np.uint16)
+        z[:8] = user_key
+        for i in range(8, 52):
+            # the standard 25-bit rotation schedule
+            if (i & 7) < 6:
+                z[i] = ((int(z[i - 7]) & 127) << 9 | int(z[i - 6]) >> 7) \
+                    & 0xFFFF
+            elif (i & 7) == 6:
+                z[i] = ((int(z[i - 7]) & 127) << 9 | int(z[i - 14]) >> 7) \
+                    & 0xFFFF
+            else:
+                z[i] = ((int(z[i - 15]) & 127) << 9 | int(z[i - 14]) >> 7) \
+                    & 0xFFFF
+        return z
+
+    @classmethod
+    def _invert_key(cls, ek: np.ndarray) -> np.ndarray:
+        """Decryption key schedule.
+
+        In round notation (encryption rounds 1..8 each use keys K1..K6,
+        the output transform uses K1..K4): decryption round r draws its
+        K1/K4 (inverted) and K2/K3 (negated, swapped except in round 1)
+        from encryption round ``10-r`` (round 9 = output transform), and
+        its K5/K6 unchanged from encryption round ``9-r``.
+        """
+        R = cls.ROUNDS
+
+        def enc_round(r: int) -> list[int]:
+            if r == R + 1:  # output transform
+                return [int(ek[6 * R + i]) for i in range(4)]
+            return [int(ek[6 * (r - 1) + i]) for i in range(6)]
+
+        dk = np.zeros(52, dtype=np.uint16)
+        for r in range(1, R + 1):
+            src = enc_round(R + 2 - r)  # encryption round 10-r
+            base = 6 * (r - 1)
+            dk[base + 0] = _mul_inv(src[0])
+            if r == 1:
+                dk[base + 1] = _add_inv(src[1])
+                dk[base + 2] = _add_inv(src[2])
+            else:
+                dk[base + 1] = _add_inv(src[2])  # swapped
+                dk[base + 2] = _add_inv(src[1])
+            dk[base + 3] = _mul_inv(src[3])
+            k56 = enc_round(R + 1 - r)  # encryption round 9-r
+            dk[base + 4] = k56[4]
+            dk[base + 5] = k56[5]
+        ot = enc_round(1)
+        dk[48] = _mul_inv(ot[0])
+        dk[49] = _add_inv(ot[1])
+        dk[50] = _add_inv(ot[2])
+        dk[51] = _mul_inv(ot[3])
+        return dk
+
+    # ------------------------------------------------------------------
+    # the cipher, vectorised over a block range
+    # ------------------------------------------------------------------
+    def _cipher(self, src: np.ndarray, dst: np.ndarray, key: np.ndarray,
+                lo: int, hi: int) -> None:
+        if hi <= lo:
+            return
+        blocks = src[lo:hi].astype(np.uint16)
+        x1 = blocks[:, 0] << 8 | blocks[:, 1]
+        x2 = blocks[:, 2] << 8 | blocks[:, 3]
+        x3 = blocks[:, 4] << 8 | blocks[:, 5]
+        x4 = blocks[:, 6] << 8 | blocks[:, 7]
+        k = 0
+        for _ in range(self.ROUNDS):
+            x1 = _mul(x1, key[k])
+            x2 = (x2 + key[k + 1]) & 0xFFFF
+            x3 = (x3 + key[k + 2]) & 0xFFFF
+            x4 = _mul(x4, key[k + 3])
+            t2 = x1 ^ x3
+            t2 = _mul(t2, key[k + 4])
+            t1 = (t2 + (x2 ^ x4)) & 0xFFFF
+            t1 = _mul(t1, key[k + 5])
+            t2 = (t1 + t2) & 0xFFFF
+            x1 ^= t1
+            x4 ^= t2
+            t2 ^= x2
+            x2 = x3 ^ t1
+            x3 = t2
+            k += 6
+        y1 = _mul(x1, key[k])
+        y2 = (x3 + key[k + 1]) & 0xFFFF
+        y3 = (x2 + key[k + 2]) & 0xFFFF
+        y4 = _mul(x4, key[k + 3])
+        out = np.empty_like(blocks)
+        out[:, 0] = y1 >> 8
+        out[:, 1] = y1 & 0xFF
+        out[:, 2] = y2 >> 8
+        out[:, 3] = y2 & 0xFF
+        out[:, 4] = y3 >> 8
+        out[:, 5] = y3 & 0xFF
+        out[:, 6] = y4 >> 8
+        out[:, 7] = y4 & 0xFF
+        dst[lo:hi] = out.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    def execute(self) -> bool:
+        self.do()
+        return self.validate()
+
+    def do(self) -> None:
+        self.encrypt_blocks(0, self.nblocks)
+        self.round_done()
+        self.decrypt_blocks(0, self.nblocks)
+        self.round_done()
+
+    def encrypt_blocks(self, lo: int, hi: int) -> None:
+        self._cipher(self.plain, self.crypt, self.ekey, lo, hi)
+
+    def decrypt_blocks(self, lo: int, hi: int) -> None:
+        self._cipher(self.crypt, self.decrypted, self.dkey, lo, hi)
+
+    def round_done(self) -> None:
+        """Phase bookkeeping (safe point join point)."""
+        self.blocks_done += self.nblocks
+
+    def validate(self) -> bool:
+        return bool(np.array_equal(self.plain, self.decrypted))

@@ -1,0 +1,153 @@
+"""Evolutionary-computation mini-framework (paper reference [20]).
+
+The paper's case studies include "a Java framework for evolutionary
+computation" parallelised with pluggable parallelisation (Pinho, Rocha &
+Sobral, PDP 2010).  This is its Python stand-in: a (mu, lambda)-style
+genetic algorithm with tournament selection, blend crossover and Gaussian
+mutation over real vectors.
+
+Parallel structure: fitness evaluation is the expensive, embarrassingly
+parallel phase (work-shared over individuals; the fitness vector
+partitions block-wise and is re-assembled after evaluation); breeding is
+cheap and *deterministically replicated* — it draws from an RNG keyed by
+``(seed, generation)``, so every member breeds the identical next
+population without communicating.  One generation = one safe point;
+``population`` / ``fitness`` / ``generation`` are the SafeData.
+
+Domain code only — plugs in :mod:`repro.apps.plugs.evo_plugs`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+
+# ---------------------------------------------------------------------------
+# benchmark problems
+# ---------------------------------------------------------------------------
+class Sphere:
+    """f(x) = sum(x^2); global minimum 0 at the origin."""
+
+    def __init__(self, dim: int = 8) -> None:
+        self.dim = dim
+        self.bounds = (-5.0, 5.0)
+
+    def __call__(self, xs: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ij->i", xs, xs)
+
+
+class Rastrigin:
+    """Highly multimodal standard benchmark; global minimum 0 at origin."""
+
+    def __init__(self, dim: int = 8) -> None:
+        self.dim = dim
+        self.bounds = (-5.12, 5.12)
+
+    def __call__(self, xs: np.ndarray) -> np.ndarray:
+        return (10.0 * xs.shape[1]
+                + (xs ** 2 - 10.0 * np.cos(2.0 * np.pi * xs)).sum(axis=1))
+
+
+class OneMax:
+    """Continuous relaxation of OneMax: maximise ones == minimise -sum."""
+
+    def __init__(self, dim: int = 16) -> None:
+        self.dim = dim
+        self.bounds = (0.0, 1.0)
+
+    def __call__(self, xs: np.ndarray) -> np.ndarray:
+        return -np.round(xs).sum(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# the GA
+# ---------------------------------------------------------------------------
+class EvolutionaryOptimizer:
+    """Minimise ``problem(x)`` with a real-coded GA."""
+
+    def __init__(self, problem: Callable[[np.ndarray], np.ndarray],
+                 pop_size: int = 64, generations: int = 30,
+                 tournament: int = 3, mutation_sigma: float = 0.1,
+                 elite: int = 2, seed: int = 2024) -> None:
+        if pop_size < 4:
+            raise ValueError("population too small")
+        if elite >= pop_size:
+            raise ValueError("elite must be smaller than the population")
+        self.problem = problem
+        self.pop_size = pop_size
+        self.generations = generations
+        self.tournament = tournament
+        self.mutation_sigma = mutation_sigma
+        self.elite = elite
+        self.seed = seed
+        lo, hi = problem.bounds
+        self.population = seeded_rng(seed).uniform(
+            lo, hi, (pop_size, problem.dim))
+        self.fitness = np.full(pop_size, np.inf)
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    def execute(self) -> float:
+        self.run()
+        return self.best_fitness()
+
+    def run(self) -> None:
+        for _ in range(self.generations):
+            self.step()
+            self.end_generation()
+
+    def step(self) -> None:
+        """One generation (ignorable during replay)."""
+        self.evaluate(0, self.pop_size)
+        self.collect_fitness()
+        self.breed()
+
+    def evaluate(self, lo: int, hi: int) -> None:
+        """Fitness of individuals ``lo .. hi-1`` (work-shared loop)."""
+        self.fitness[lo:hi] = self.problem(self.population[lo:hi])
+
+    def collect_fitness(self) -> None:
+        """Join point: full fitness vector needed from here on."""
+
+    def breed(self) -> None:
+        """Produce the next population.
+
+        Deterministic given ``(seed, generation)``: replicated members
+        all compute the same offspring with zero communication.
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed,
+                                   spawn_key=(self.generation + 1,)))
+        pop, fit = self.population, self.fitness
+        n, dim = pop.shape
+        order = np.argsort(fit, kind="stable")
+        new = np.empty_like(pop)
+        new[:self.elite] = pop[order[:self.elite]]  # elitism
+        # tournament selection for the rest
+        k = n - self.elite
+        cand = rng.integers(0, n, (2, k, self.tournament))
+        parents_a = cand[0][np.arange(k),
+                            np.argmin(fit[cand[0]], axis=1)]
+        parents_b = cand[1][np.arange(k),
+                            np.argmin(fit[cand[1]], axis=1)]
+        alpha = rng.random((k, 1))
+        children = alpha * pop[parents_a] + (1 - alpha) * pop[parents_b]
+        children += rng.normal(0.0, self.mutation_sigma, (k, dim))
+        lo, hi = self.problem.bounds
+        np.clip(children, lo, hi, out=children)
+        new[self.elite:] = children
+        self.population = new
+
+    def end_generation(self) -> None:
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    def best_fitness(self) -> float:
+        return float(self.fitness.min())
+
+    def best_individual(self) -> np.ndarray:
+        return self.population[int(np.argmin(self.fitness))].copy()

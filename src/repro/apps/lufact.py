@@ -1,0 +1,91 @@
+"""JGF LUFact: dense LU factorisation with partial pivoting.
+
+Gaussian elimination in place: at step ``k`` the pivot row is selected
+and swapped (a replicated, deterministic decision), the pivot column is
+scaled, and rows ``k+1..n`` are eliminated — the eliminated-rows loop is
+the work-shared phase.  Unlike the stencil kernels, every step *reads*
+the pivot row produced by the previous step, so the distributed plug
+re-assembles the matrix after each elimination phase (AllGather) — a
+different communication shape from SOR's halo exchange, which is why the
+kernel earns its place in the suite.
+
+Domain code only — plugs in :mod:`repro.apps.plugs.lufact_plugs`.
+Validation: ``P A0 == L U`` to numerical tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+
+class LUFact:
+    """In-place LU factorisation of a random well-conditioned matrix."""
+
+    def __init__(self, n: int = 64, seed: int = 42) -> None:
+        if n < 2:
+            raise ValueError("matrix must be at least 2x2")
+        self.n = n
+        rng = seeded_rng(seed)
+        # plain random matrix: invertible w.h.p., and partial pivoting
+        # actually has pivoting to do (a dominant diagonal would make the
+        # pivot search trivially pick the diagonal every step)
+        self.A = rng.random((n, n))
+        self.A0 = self.A.copy()  # kept for validation
+        self.piv = np.arange(n)
+        self.step_k = 0
+
+    # ------------------------------------------------------------------
+    def execute(self) -> float:
+        self.run()
+        return self.checksum()
+
+    def validate_after_run(self) -> bool:
+        """Entry point that factorises and then checks P A0 == L U."""
+        self.run()
+        return self.validate()
+
+    def run(self) -> None:
+        for k in range(self.n - 1):
+            self.factor_step(k)
+            self.end_step()
+
+    def factor_step(self, k: int) -> None:
+        """One elimination step (ignorable during replay)."""
+        self.pivot_and_scale(k)
+        self.eliminate_rows(k + 1, self.n, k)
+
+    def pivot_and_scale(self, k: int) -> None:
+        """Select/swap the pivot row and scale the pivot column.
+
+        Deterministic given ``A`` — replicated members all take the same
+        decision with no communication.
+        """
+        A = self.A
+        p = k + int(np.argmax(np.abs(A[k:, k])))
+        if p != k:
+            A[[k, p], :] = A[[p, k], :]
+            self.piv[[k, p]] = self.piv[[p, k]]
+        A[k + 1:, k] /= A[k, k]
+
+    def eliminate_rows(self, lo: int, hi: int, k: int) -> None:
+        """Eliminate rows ``lo..hi-1`` against pivot row ``k``
+        (the work-shared loop)."""
+        if hi <= lo:
+            return
+        A = self.A
+        A[lo:hi, k + 1:] -= np.outer(A[lo:hi, k], A[k, k + 1:])
+
+    def end_step(self) -> None:
+        self.step_k += 1
+
+    # ------------------------------------------------------------------
+    def checksum(self) -> float:
+        return float(np.abs(self.A).sum() / (self.n * self.n))
+
+    def validate(self, tol: float = 1e-9) -> bool:
+        """Check P A0 == L U."""
+        L = np.tril(self.A, -1) + np.eye(self.n)
+        U = np.triu(self.A)
+        return bool(np.allclose(self.A0[self.piv], L @ U, atol=tol))

@@ -1,0 +1,106 @@
+"""JGF MolDyn: Lennard-Jones molecular dynamics (velocity Verlet).
+
+N particles on an FCC-initialised cube interacting through a truncated
+Lennard-Jones potential, integrated with velocity Verlet — the paper's
+line of work includes a pluggable-parallelisation MD framework (ref
+[21]); this kernel is its JGF-scale stand-in.
+
+Parallel structure (matching the JGF parallel versions): positions and
+velocities are *replicated*; the O(N^2) force loop is work-shared over
+particles; partial force arrays are summed across members after the
+force phase (AllGather/Reduce pattern), after which every member
+integrates identically.  One time step = one safe point; ``positions``
+and ``velocities`` are the SafeData.
+
+Domain code only — plugs in :mod:`repro.apps.plugs.moldyn_plugs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+
+class MolDyn:
+    """Lennard-Jones MD on ``n`` particles in a periodic cube."""
+
+    def __init__(self, n: int = 64, steps: int = 20, density: float = 0.8,
+                 dt: float = 0.002, seed: int = 5) -> None:
+        if n < 8:
+            raise ValueError("need at least 8 particles")
+        self.n = n
+        self.steps = steps
+        self.dt = dt
+        self.box = (n / density) ** (1.0 / 3.0)
+        rng = seeded_rng(seed)
+        # simple cubic lattice + jitter (deterministic)
+        side = int(np.ceil(n ** (1.0 / 3.0)))
+        grid = np.stack(np.meshgrid(*[np.arange(side)] * 3,
+                                    indexing="ij"), axis=-1).reshape(-1, 3)
+        self.positions = (grid[:n] + 0.5) * (self.box / side) \
+            + rng.normal(0.0, 0.01, (n, 3))
+        self.velocities = rng.normal(0.0, 1.0, (n, 3))
+        self.velocities -= self.velocities.mean(axis=0)  # zero net momentum
+        self.forces = np.zeros((n, 3))
+        self.steps_done = 0
+
+    # ------------------------------------------------------------------
+    def execute(self) -> float:
+        self.run()
+        return self.kinetic_energy()
+
+    def run(self) -> None:
+        for _ in range(self.steps):
+            self.step()
+            self.end_step()
+
+    def step(self) -> None:
+        """One velocity-Verlet step (ignorable during replay)."""
+        self.half_kick_drift()
+        self.clear_forces()
+        self.compute_forces(0, self.n)
+        self.finish_forces()
+        self.half_kick()
+
+    def half_kick_drift(self) -> None:
+        self.velocities += 0.5 * self.dt * self.forces
+        self.positions += self.dt * self.velocities
+        self.positions %= self.box  # periodic wrap
+
+    def clear_forces(self) -> None:
+        self.forces[...] = 0.0
+
+    def compute_forces(self, lo: int, hi: int) -> None:
+        """LJ forces for particles ``lo .. hi-1`` (work-shared loop).
+
+        Computes the *full* force on each owned particle (i against all
+        j != i), so per-particle rows of ``forces`` are disjoint across
+        members — no reduction races, a clean AllGather suffices.
+        """
+        pos = self.positions
+        box = self.box
+        for i in range(lo, hi):
+            d = pos[i] - pos  # (n, 3)
+            d -= box * np.round(d / box)  # minimum image
+            r2 = np.einsum("ij,ij->i", d, d)
+            r2[i] = np.inf  # no self-interaction
+            np.clip(r2, 0.64, None, out=r2)  # avoid overlap blow-up
+            inv2 = 1.0 / r2
+            inv6 = inv2 ** 3
+            fmag = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0)
+            self.forces[i] = (fmag[:, None] * d).sum(axis=0)
+
+    def finish_forces(self) -> None:
+        """Force-phase join (barrier / allgather attach point)."""
+
+    def half_kick(self) -> None:
+        self.velocities += 0.5 * self.dt * self.forces
+
+    def end_step(self) -> None:
+        self.steps_done += 1
+
+    # ------------------------------------------------------------------
+    def kinetic_energy(self) -> float:
+        return float(0.5 * np.einsum("ij,ij->", self.velocities,
+                                     self.velocities))

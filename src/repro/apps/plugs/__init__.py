@@ -1,0 +1,24 @@
+"""Parallelisation and checkpointing plug modules, one per workload.
+
+These are the paper's "separate module (e.g., file)" declarations — the
+red/italic comments of its Figure 1, expressed as PlugSets.  Domain code
+in :mod:`repro.apps` never imports this package.
+"""
+
+from repro.apps.plugs.sor_plugs import (
+    SOR_ADAPTIVE,
+    SOR_CKPT,
+    SOR_DIST,
+    SOR_HYBRID,
+    SOR_SHARED,
+    sor_plugs,
+)
+
+__all__ = [
+    "SOR_ADAPTIVE",
+    "SOR_CKPT",
+    "SOR_DIST",
+    "SOR_HYBRID",
+    "SOR_SHARED",
+    "sor_plugs",
+]

@@ -1,0 +1,55 @@
+"""Plug modules for the JGF Crypt (IDEA) benchmark.
+
+Embarrassingly parallel over 8-byte blocks.  The three byte arrays
+partition block-wise along the byte axis; because each cipher block is 8
+bytes, the work-shared loop ranges over *block* indices while the layout
+ranges over *bytes* — the ``align`` is therefore left to plain block
+splitting of the block-index range, and each phase's output array is
+re-assembled afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ForMethod,
+    GatherAfter,
+    IgnorableMethod,
+    ParallelMethod,
+    PlugSet,
+    Partitioned,
+    Replicate,
+    SafeData,
+    SafePointAfter,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+from repro.smp.sched import Schedule
+
+CRYPT_SHARED = PlugSet(
+    ParallelMethod("do"),
+    ForMethod("encrypt_blocks", schedule=Schedule.STATIC),
+    ForMethod("decrypt_blocks", schedule=Schedule.STATIC),
+    SingleMethod("round_done"),
+    name="crypt-shared",
+)
+
+# arrays are (nblocks, 8): BlockLayout over axis 0 never splits a cipher
+# block, and the loops align with the partitioned output of each phase.
+CRYPT_DIST = PlugSet(
+    Replicate(),
+    Partitioned("crypt", BlockLayout(axis=0)),
+    Partitioned("decrypted", BlockLayout(axis=0)),
+    ForMethod("encrypt_blocks", align="crypt"),
+    ForMethod("decrypt_blocks", align="decrypted"),
+    GatherAfter("encrypt_blocks", "crypt"),
+    GatherAfter("decrypt_blocks", "decrypted"),
+    name="crypt-dist",
+)
+
+CRYPT_CKPT = PlugSet(
+    SafeData("crypt", "decrypted", "blocks_done"),
+    SafePointAfter("round_done"),
+    IgnorableMethod("encrypt_blocks"),
+    IgnorableMethod("decrypt_blocks"),
+    name="crypt-ckpt",
+)

@@ -1,0 +1,52 @@
+"""Plug modules for the evolutionary-computation framework (ref [20]).
+
+Fitness evaluation is work-shared; the fitness vector partitions
+block-wise and is re-assembled at ``collect_fitness``; breeding is
+deterministic replicated arithmetic (RNG keyed by generation), single-
+threaded inside a team.  One generation = one safe point; the whole GA
+state is three SafeData fields.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AllGatherAfter,
+    BarrierAfter,
+    BarrierBefore,
+    ForMethod,
+    IgnorableMethod,
+    ParallelMethod,
+    Partitioned,
+    PlugSet,
+    Replicate,
+    SafeData,
+    SafePointAfter,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+from repro.smp.sched import Schedule
+
+EVO_SHARED = PlugSet(
+    ParallelMethod("run"),
+    ForMethod("evaluate", schedule=Schedule.DYNAMIC, chunk=4),
+    BarrierBefore("collect_fitness"),
+    SingleMethod("breed"),
+    BarrierAfter("breed"),
+    SingleMethod("end_generation"),
+    name="evo-shared",
+)
+
+EVO_DIST = PlugSet(
+    Replicate(),
+    Partitioned("fitness", BlockLayout(axis=0), whole_at_safepoints=True),
+    ForMethod("evaluate", align="fitness"),
+    AllGatherAfter("evaluate", "fitness"),
+    name="evo-dist",
+)
+
+EVO_CKPT = PlugSet(
+    SafeData("population", "fitness", "generation"),
+    SafePointAfter("end_generation"),
+    IgnorableMethod("step"),
+    name="evo-ckpt",
+)

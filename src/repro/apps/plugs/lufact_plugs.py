@@ -1,0 +1,52 @@
+"""Plug modules for the LUFact kernel.
+
+Rows partition block-wise; each elimination phase updates only the
+member's owned rows and the matrix is re-assembled afterwards
+(AllGather), so the next step's pivot decision is replicated arithmetic
+on a whole matrix.  In a team, the pivot step is single-threaded and
+fenced by barriers on both sides (eliminations read the scaled column,
+the next pivot reads all eliminations).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AllGatherAfter,
+    BarrierAfter,
+    BarrierBefore,
+    ForMethod,
+    IgnorableMethod,
+    ParallelMethod,
+    Partitioned,
+    PlugSet,
+    Replicate,
+    SafeData,
+    SafePointAfter,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+
+LUFACT_SHARED = PlugSet(
+    ParallelMethod("run"),
+    BarrierBefore("pivot_and_scale"),
+    SingleMethod("pivot_and_scale"),
+    BarrierAfter("pivot_and_scale"),
+    ForMethod("eliminate_rows"),
+    SingleMethod("end_step"),
+    name="lufact-shared",
+)
+
+LUFACT_DIST = PlugSet(
+    Replicate(),
+    Partitioned("A", BlockLayout(axis=0), whole_at_safepoints=True),
+    ForMethod("eliminate_rows", align="A"),
+    AllGatherAfter("eliminate_rows", "A"),
+    name="lufact-dist",
+)
+
+LUFACT_CKPT = PlugSet(
+    SafeData("A", "piv", "step_k"),
+    SafePointAfter("end_step"),
+    IgnorableMethod("factor_step"),
+    name="lufact-ckpt",
+)

@@ -1,0 +1,57 @@
+"""Plug modules for the MolDyn (Lennard-Jones MD) kernel.
+
+Positions/velocities are replicated; the O(N^2) force phase is
+work-shared over particles with the per-particle force rows partitioned
+block-wise and re-assembled at the force-phase join (``finish_forces``).
+Integration half-kicks are replicated arithmetic on every member (and
+single-thread inside a team).  One time step = one safe point.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AllGatherAfter,
+    BarrierAfter,
+    ForMethod,
+    IgnorableMethod,
+    ParallelMethod,
+    Partitioned,
+    PlugSet,
+    Replicate,
+    Replicated,
+    SafeData,
+    SafePointAfter,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+
+MOLDYN_SHARED = PlugSet(
+    ParallelMethod("run"),
+    SingleMethod("half_kick_drift"),
+    BarrierAfter("half_kick_drift"),
+    SingleMethod("clear_forces"),
+    BarrierAfter("clear_forces"),
+    ForMethod("compute_forces"),
+    BarrierAfter("compute_forces"),
+    SingleMethod("half_kick"),
+    BarrierAfter("half_kick"),
+    SingleMethod("end_step"),
+    name="moldyn-shared",
+)
+
+MOLDYN_DIST = PlugSet(
+    Replicate(),
+    Replicated("positions"),
+    Replicated("velocities"),
+    Partitioned("forces", BlockLayout(axis=0), whole_at_safepoints=True),
+    ForMethod("compute_forces", align="forces"),
+    AllGatherAfter("compute_forces", "forces"),
+    name="moldyn-dist",
+)
+
+MOLDYN_CKPT = PlugSet(
+    SafeData("positions", "velocities", "forces", "steps_done"),
+    SafePointAfter("end_step"),
+    IgnorableMethod("step"),
+    name="moldyn-ckpt",
+)

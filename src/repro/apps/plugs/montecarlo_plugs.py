@@ -1,0 +1,49 @@
+"""Plug modules for the MonteCarlo pricing kernel.
+
+Paths are independent (per-path RNG streams), so the distribution over
+members is free: the per-path returns vector partitions block-wise and is
+re-assembled once after simulation; the shared-memory version uses a
+dynamic schedule since path costs are uniform but cheap (demonstrating a
+second schedule in the suite).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AllGatherAfter,
+    BarrierAfter,
+    ForMethod,
+    IgnorableMethod,
+    ParallelMethod,
+    Partitioned,
+    PlugSet,
+    Replicate,
+    SafeData,
+    SafePointAfter,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+from repro.smp.sched import Schedule
+
+MC_SHARED = PlugSet(
+    ParallelMethod("run"),
+    ForMethod("simulate_paths", schedule=Schedule.DYNAMIC, chunk=8),
+    BarrierAfter("simulate_paths"),
+    SingleMethod("batch_done"),
+    name="mc-shared",
+)
+
+MC_DIST = PlugSet(
+    Replicate(),
+    Partitioned("returns", BlockLayout(axis=0), whole_at_safepoints=True),
+    ForMethod("simulate_paths", align="returns"),
+    AllGatherAfter("simulate_paths", "returns"),
+    name="mc-dist",
+)
+
+MC_CKPT = PlugSet(
+    SafeData("returns", "paths_done"),
+    SafePointAfter("batch_done"),
+    IgnorableMethod("simulate_paths"),
+    name="mc-ckpt",
+)

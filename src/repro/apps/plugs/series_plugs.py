@@ -1,0 +1,56 @@
+"""Plug modules for the JGF Series benchmark — the paper's Figure 1.
+
+The distributed set is a line-by-line transcription of the figure:
+
+    // Partitioned<TestArray, BLOCK>
+    // ScatterBefore<Do(), TestArray>
+    // GatherAfter<Do(), TestArray>
+
+and the alternative shared-memory parallelisation the paper sketches in
+Section III.D: "a shared memory parallelisation could be implemented by
+declaring the Do method as parallel (ParallelMethod<Do()>) and by using
+the for construct to schedule calls to the TrapezoidIntegrate method
+among threads in the team."
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ForMethod,
+    GatherAfter,
+    IgnorableMethod,
+    ParallelMethod,
+    Partitioned,
+    PlugSet,
+    Replicate,
+    SafeData,
+    SafePointAfter,
+    ScatterBefore,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+from repro.smp.sched import Schedule
+
+SERIES_SHARED = PlugSet(
+    ParallelMethod("do"),
+    SingleMethod("compute_a0"),
+    ForMethod("compute_terms", schedule=Schedule.DYNAMIC, chunk=4),
+    SingleMethod("finish"),
+    name="series-shared",
+)
+
+SERIES_DIST = PlugSet(
+    Replicate(),
+    Partitioned("TestArray", BlockLayout(axis=1)),
+    ScatterBefore("do", "TestArray"),
+    GatherAfter("do", "TestArray"),
+    ForMethod("compute_terms", align="TestArray"),
+    name="series-dist",
+)
+
+SERIES_CKPT = PlugSet(
+    SafeData("TestArray", "terms_done"),
+    SafePointAfter("finish"),
+    IgnorableMethod("compute_terms"),
+    name="series-ckpt",
+)

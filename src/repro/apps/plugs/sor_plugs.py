@@ -1,0 +1,104 @@
+"""Plug modules for the JGF SOR benchmark.
+
+Three independent concerns, composable with ``+`` exactly as the paper
+prescribes (Section III.A: sequential / shared / distributed versions of
+one code base; Section IV.A: checkpointing as a further pluggable
+concern):
+
+* ``SOR_SHARED``  — OpenMP-style: ``run`` is a parallel method, ``relax``
+  is work-shared over rows with a barrier separating the two colour
+  half-sweeps.
+* ``SOR_DIST``    — aggregate-style: ``G`` is block-partitioned by rows
+  with a one-row halo; partitions are updated before ``run`` and
+  collected after it (the paper's Figure 1 Scatter/Gather points); ghost
+  rows are refreshed before each half-sweep.
+* ``SOR_CKPT``    — checkpointing: ``G`` and the iteration cursor are
+  SafeData, the end of each iteration is a safe point, and ``sweep`` is
+  ignorable during replay (its entire effect is captured by ``G``).
+
+The paper's Section V claim that "specifying the safe points, ignorable
+methods and safe data fields introduces a very small programming
+overhead" is literally visible here: ``SOR_CKPT`` is three declarations.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BarrierAfter,
+    ForMethod,
+    GatherAfter,
+    HaloExchangeBefore,
+    IgnorableMethod,
+    ParallelMethod,
+    Partitioned,
+    PlugSet,
+    Replicate,
+    SafeData,
+    SafePointAfter,
+    ScatterBefore,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+from repro.smp.sched import Schedule
+
+SOR_SHARED = PlugSet(
+    ParallelMethod("run"),
+    ForMethod("relax", schedule=Schedule.STATIC),
+    BarrierAfter("relax"),
+    # the iteration cursor is shared state: one team increment per pass
+    SingleMethod("end_iteration"),
+    name="sor-shared",
+)
+
+SOR_DIST = PlugSet(
+    Replicate(),
+    Partitioned("G", BlockLayout(axis=0, halo=1)),
+    ScatterBefore("run", "G"),
+    GatherAfter("run", "G"),
+    ForMethod("relax", align="G"),
+    HaloExchangeBefore("relax", "G"),
+    name="sor-dist",
+)
+
+# Hybrid is NOT "dist + shared": both sets carry a ForMethod for `relax`,
+# and work sharing must be declared exactly once (the context composes the
+# rank and thread dimensions itself).
+SOR_HYBRID = PlugSet(
+    Replicate(),
+    Partitioned("G", BlockLayout(axis=0, halo=1)),
+    ScatterBefore("run", "G"),
+    GatherAfter("run", "G"),
+    ParallelMethod("run"),
+    ForMethod("relax", align="G", schedule=Schedule.STATIC),
+    HaloExchangeBefore("relax", "G"),
+    BarrierAfter("relax"),
+    SingleMethod("end_iteration"),
+    name="sor-hybrid",
+)
+
+SOR_CKPT = PlugSet(
+    SafeData("G", "iterations_done"),
+    SafePointAfter("end_iteration"),
+    IgnorableMethod("sweep"),
+    name="sor-ckpt",
+)
+
+
+def sor_plugs(shared: bool = False, dist: bool = False,
+              ckpt: bool = True) -> PlugSet:
+    """Compose the SOR plug sets for a given deployment."""
+    if shared and dist:
+        out = SOR_HYBRID
+    elif dist:
+        out = SOR_DIST
+    elif shared:
+        out = SOR_SHARED
+    else:
+        out = PlugSet(name="sor")
+    if ckpt:
+        out = out + SOR_CKPT
+    return out
+
+
+#: the full adaptive deployment: weave once, run in ANY mode.
+SOR_ADAPTIVE = SOR_HYBRID + SOR_CKPT

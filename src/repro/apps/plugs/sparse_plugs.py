@@ -1,0 +1,50 @@
+"""Plug modules for the JGF SparseMatMult benchmark.
+
+Rows of ``y`` partition block-wise; because the damped product feeds back
+as the next input vector, every member needs the whole of ``y`` after the
+multiply — the ``AllGatherAfter`` pattern.  The swap itself is replicated
+arithmetic (identical on every member) and a single-thread operation
+inside a team.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AllGatherAfter,
+    BarrierAfter,
+    ForMethod,
+    IgnorableMethod,
+    ParallelMethod,
+    Partitioned,
+    PlugSet,
+    Replicate,
+    SafeData,
+    SafePointAfter,
+    SingleMethod,
+)
+from repro.dsm.partition import BlockLayout
+
+SPARSE_SHARED = PlugSet(
+    ParallelMethod("run"),
+    ForMethod("multiply_rows"),
+    BarrierAfter("multiply_rows"),
+    SingleMethod("swap"),
+    BarrierAfter("swap"),
+    SingleMethod("end_iteration"),
+    name="sparse-shared",
+)
+
+SPARSE_DIST = PlugSet(
+    Replicate(),
+    Partitioned("y", BlockLayout(axis=0), whole_at_safepoints=True),
+    ForMethod("multiply_rows", align="y"),
+    AllGatherAfter("multiply_rows", "y"),
+    name="sparse-dist",
+)
+
+SPARSE_CKPT = PlugSet(
+    SafeData("x", "y", "iterations_done"),
+    SafePointAfter("end_iteration"),
+    IgnorableMethod("step"),
+    name="sparse-ckpt",
+)

@@ -1,0 +1,74 @@
+"""JGF Series: Fourier coefficients by trapezoid integration.
+
+The paper's Figure 1 illustrates pluggable parallelisation on exactly
+this benchmark: ``TestArray`` holds the first ``n`` Fourier coefficient
+pairs of ``f(x) = (x+1)^x`` on ``[0, 2]``, each computed by trapezoid
+integration; the distributed plug partitions ``TestArray`` block-wise,
+scatters before ``do`` and gathers after it.
+
+Domain code only — plugs in :mod:`repro.apps.plugs.series_plugs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Series:
+    """First ``n`` Fourier coefficient pairs of ``(x+1)^x`` on [0, 2]."""
+
+    def __init__(self, n: int = 100, integration_points: int = 1000) -> None:
+        if n < 2:
+            raise ValueError("need at least 2 coefficient pairs")
+        self.n = n
+        self.m = integration_points
+        #: row 0 = a_j coefficients, row 1 = b_j; column j = term j.
+        self.TestArray = np.zeros((2, n))
+        self.terms_done = 0
+
+    # ------------------------------------------------------------------
+    def execute(self) -> tuple[float, float, float]:
+        self.do()
+        return self.first_coefficients()
+
+    def do(self) -> None:
+        """Compute all coefficient pairs (the Figure 1 ``Do()`` method)."""
+        self.compute_a0()
+        self.compute_terms(1, self.n)
+        self.finish()
+
+    def compute_a0(self) -> None:
+        """The j=0 term: plain average of f (computed by everyone —
+        deterministic and cheap, so replication is harmless)."""
+        x = np.linspace(0.0, 2.0, self.m + 1)
+        fx = self._f(x)
+        self.TestArray[0, 0] = np.trapezoid(fx, x) / 2.0
+        self.TestArray[1, 0] = 0.0
+
+    def compute_terms(self, lo: int, hi: int) -> None:
+        """Coefficient pairs ``lo .. hi-1`` (the work-shared loop)."""
+        x = np.linspace(0.0, 2.0, self.m + 1)
+        fx = self._f(x)
+        for j in range(lo, hi):
+            wx = np.pi * j * x
+            self.TestArray[0, j] = self._trapezoid(fx * np.cos(wx), x)
+            self.TestArray[1, j] = self._trapezoid(fx * np.sin(wx), x)
+
+    def finish(self) -> None:
+        """Per-batch bookkeeping (safe point join point)."""
+        self.terms_done = self.n
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _f(x: np.ndarray) -> np.ndarray:
+        return np.power(x + 1.0, x)
+
+    @staticmethod
+    def _trapezoid(y: np.ndarray, x: np.ndarray) -> float:
+        return float(np.trapezoid(y, x))
+
+    def first_coefficients(self) -> tuple[float, float, float]:
+        """JGF-style validation triple: (a0, a1, b1)."""
+        return (float(self.TestArray[0, 0]),
+                float(self.TestArray[0, 1]),
+                float(self.TestArray[1, 1]))

@@ -1,0 +1,99 @@
+"""JGF SOR: red-black successive over-relaxation (five-point stencil).
+
+The paper's evaluation benchmark: "a typical scientific application,
+where a five-point stencil is successively applied to a matrix".  This is
+pure domain code — no threads, ranks, checkpoints or adaptation — exactly
+as the pluggable-parallelisation discipline demands.  The matching plug
+modules live in :mod:`repro.apps.plugs.sor_plugs`.
+
+Red-black ordering is used (as in the JGF parallel versions): within one
+half-sweep every updated point depends only on points of the other
+colour, so the update is order-independent and the sequential, threaded
+and distributed executions produce *bit-identical* matrices — the
+property the metamorphic tests rely on.
+
+Method roles (what the plug modules attach to):
+
+``execute``      entry point; scatter/gather of ``G`` hang here.
+``run``          the iteration driver — the parallel region.
+``sweep``        one red-black iteration — declared *ignorable* (its whole
+                 effect lives in ``G``, which is SafeData).
+``relax``        one colour half-sweep over a row range — the work-shared
+                 loop (first two args are the row bounds).
+``end_iteration``the per-iteration bookkeeping — the safe point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+
+class SOR:
+    """Red-black SOR over an ``n`` x ``n`` grid."""
+
+    def __init__(self, n: int = 100, iterations: int = 100,
+                 omega: float = 1.25, seed: int = 17) -> None:
+        if n < 3:
+            raise ValueError("grid must be at least 3x3")
+        self.n = n
+        self.iterations = iterations
+        self.omega = omega
+        self.G = seeded_rng(seed).random((n, n)) * 1e-6
+        self.iterations_done = 0
+
+    # ------------------------------------------------------------------
+    def execute(self) -> float:
+        """Run the full benchmark and return the result checksum."""
+        self.run()
+        return self.checksum()
+
+    def run(self) -> None:
+        """Iteration driver (the parallel region when plugged).
+
+        The loop trip count is fixed (not resumed from ``iterations_done``)
+        on purpose: restart and adaptation replay the driver from the top,
+        skipping the ignorable ``sweep`` until the recorded safe point is
+        reached, so the control flow must be state-independent.
+        """
+        for _ in range(self.iterations):
+            self.sweep()
+            self.end_iteration()
+
+    def sweep(self) -> None:
+        """One full red-black iteration (two half-sweeps)."""
+        self.relax(1, self.n - 1, 0)  # red points
+        self.relax(1, self.n - 1, 1)  # black points
+
+    def relax(self, lo: int, hi: int, parity: int) -> None:
+        """Half-sweep: update rows of ``parity`` colour in ``[lo, hi)``.
+
+        Vectorised over whole rows; the five-point update for row ``i``
+        reads rows ``i-1`` and ``i+1``, which is why the distributed plug
+        declares a halo of one row.
+        """
+        lo = max(lo, 1)
+        hi = min(hi, self.n - 1)
+        start = lo + ((parity - lo) % 2)
+        if start >= hi:
+            return
+        G = self.G
+        w = self.omega
+        r = np.arange(start, hi, 2)
+        G[r, 1:-1] = ((1.0 - w) * G[r, 1:-1]
+                      + w * 0.25 * (G[r - 1, 1:-1] + G[r + 1, 1:-1]
+                                    + G[r, :-2] + G[r, 2:]))
+
+    def end_iteration(self) -> None:
+        """Per-iteration bookkeeping (the safe point join point)."""
+        self.iterations_done += 1
+
+    # ------------------------------------------------------------------
+    def checksum(self) -> float:
+        """JGF-style validation value: mean absolute grid value."""
+        return float(np.abs(self.G).sum() / (self.n * self.n))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SOR(n={self.n}, iterations={self.iterations}, "
+                f"done={self.iterations_done})")

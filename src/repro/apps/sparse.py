@@ -1,0 +1,73 @@
+"""JGF SparseMatMult: repeated sparse matrix-vector products.
+
+``y += A @ x`` repeated ``iterations`` times over a random sparse matrix
+in CSR form.  The work-shared loop ranges over *rows*; ``y`` partitions
+block-wise by row, ``x`` is replicated (every rank reads all of it), and
+after each product the updated ``y`` becomes the next ``x`` — which in
+the distributed setting requires an allgather, expressed in the plugs as
+gather+scatter around the swap (a single safe point per iteration).
+
+Domain code only — plugs in :mod:`repro.apps.plugs.sparse_plugs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+
+class SparseMatMult:
+    """CSR sparse matrix-vector kernel."""
+
+    def __init__(self, n: int = 500, nnz_per_row: int = 5,
+                 iterations: int = 20, seed: int = 7) -> None:
+        if n < 2 or nnz_per_row < 1:
+            raise ValueError("bad sparse matrix shape")
+        rng = seeded_rng(seed)
+        self.n = n
+        self.iterations = iterations
+        # CSR with a fixed number of nonzeros per row (JGF style)
+        cols = np.empty(n * nnz_per_row, dtype=np.int64)
+        for i in range(n):
+            cols[i * nnz_per_row:(i + 1) * nnz_per_row] = rng.choice(
+                n, size=nnz_per_row, replace=False)
+        self.colidx = cols
+        self.rowptr = np.arange(n + 1) * nnz_per_row
+        self.values = rng.random(n * nnz_per_row) * (2.0 / nnz_per_row) - \
+            (1.0 / nnz_per_row)
+        self.x = rng.random(n)
+        self.y = np.zeros(n)
+        self.iterations_done = 0
+
+    # ------------------------------------------------------------------
+    def execute(self) -> float:
+        self.run()
+        return self.checksum()
+
+    def run(self) -> None:
+        for _ in range(self.iterations):
+            self.step()
+            self.end_iteration()
+
+    def step(self) -> None:
+        """One product + swap (ignorable during replay)."""
+        self.multiply_rows(0, self.n)
+        self.swap()
+
+    def multiply_rows(self, lo: int, hi: int) -> None:
+        """``y[lo:hi] = A[lo:hi] @ x`` (the work-shared loop)."""
+        for i in range(lo, hi):
+            s, e = self.rowptr[i], self.rowptr[i + 1]
+            self.y[i] = np.dot(self.values[s:e], self.x[self.colidx[s:e]])
+
+    def swap(self) -> None:
+        """Feed the product back as the next input, with damping."""
+        self.x = 0.5 * self.x + 0.5 * self.y
+
+    def end_iteration(self) -> None:
+        self.iterations_done += 1
+
+    # ------------------------------------------------------------------
+    def checksum(self) -> float:
+        return float(np.abs(self.y).sum())

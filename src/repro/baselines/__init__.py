@@ -1,0 +1,25 @@
+"""Hand-written comparators the paper's evaluation measures against.
+
+* :mod:`repro.baselines.sor_handwritten` — SOR written *directly* against
+  the substrates (no weaver), with checkpointing hand-inlined: the
+  "classic invasive techniques" bar of Figure 3, and (with checkpointing
+  off) the fixed "JGF Sequential / Threads / MPI" versions of Figure 9.
+* :mod:`repro.baselines.overdecomp` — adaptation by over-decomposition
+  (more processes than processors), the overhead Figure 8 quantifies.
+"""
+
+from repro.baselines.overdecomp import run_overdecomposed_sor
+from repro.baselines.sor_handwritten import (
+    HandwrittenResult,
+    run_mpi_sor,
+    run_sequential_sor,
+    run_threads_sor,
+)
+
+__all__ = [
+    "HandwrittenResult",
+    "run_mpi_sor",
+    "run_overdecomposed_sor",
+    "run_sequential_sor",
+    "run_threads_sor",
+]

@@ -1,0 +1,40 @@
+"""Application-level checkpointing substrate.
+
+Implements the paper's Section IV.A machinery:
+
+* :class:`Snapshot` / :class:`CheckpointStore` — portable, checksummed,
+  atomically-written checkpoint files containing the ``SafeData`` fields
+  and the number of executed safe points.  The *master* checkpoint format
+  is mode-independent: the same file restarts a sequential, shared-memory
+  or distributed run (the key enabler of restart-based adaptation).
+* :class:`RunLedger` — the paper's ``pcr`` module: marks a run as started /
+  completed so the next start-up can detect that "the last execution was
+  [not] concluded without failures" and enter replay mode.
+* :class:`SafePointCounter` and :class:`ReplayState` — safe-point counting
+  and the replay protocol: skip ignorable methods, count safe points, load
+  the snapshot when the saved count is reached.
+* :class:`CheckpointPolicy` family — "a checkpoint might be taken only
+  after a set of safe points" (every-N, explicit counts, never).
+* :class:`FailureInjector` — synthetic failures at a chosen safe point,
+  standing in for the machine crashes the paper's cluster suffered.
+"""
+
+from repro.ckpt.failure import FailureInjector, InjectedFailure
+from repro.ckpt.policy import AtCounts, CheckpointPolicy, EveryN, Never
+from repro.ckpt.replay import ReplayState, SafePointCounter
+from repro.ckpt.snapshot import Snapshot
+from repro.ckpt.store import CheckpointStore, RunLedger
+
+__all__ = [
+    "AtCounts",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "EveryN",
+    "FailureInjector",
+    "InjectedFailure",
+    "Never",
+    "ReplayState",
+    "RunLedger",
+    "SafePointCounter",
+    "Snapshot",
+]

@@ -1,0 +1,69 @@
+"""Synthetic failure injection.
+
+The paper evaluates restart behaviour after real resource failures; this
+reproduction triggers them deterministically.  A :class:`FailureInjector`
+arms a failure at a chosen safe-point count (optionally on a specific
+rank); when the run reaches it, :class:`InjectedFailure` is raised, the
+run ledger is left in the ``running`` state — exactly the footprint of a
+crash — and the next execution's pcr check enters replay mode.
+
+The injector fires once per arming: restarted runs pass the same safe
+point without failing again (otherwise recovery could never make
+progress), unless ``repeat`` is set for crash-loop testing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class InjectedFailure(RuntimeError):
+    """The synthetic stand-in for a machine/resource crash."""
+
+    def __init__(self, safepoint: int, rank: int | None = None) -> None:
+        where = f" on rank {rank}" if rank is not None else ""
+        super().__init__(f"injected failure at safe point {safepoint}{where}")
+        self.safepoint = safepoint
+        self.rank = rank
+
+
+class FailureInjector:
+    """Arms a failure at safe point ``fail_at`` (optionally rank-scoped)."""
+
+    def __init__(self, fail_at: int | None = None, rank: int | None = None,
+                 repeat: bool = False) -> None:
+        self._lock = threading.Lock()
+        self.fail_at = fail_at
+        self.rank = rank
+        self.repeat = repeat
+        self._fired = False
+
+    # ------------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        with self._lock:
+            return self.fail_at is not None and (self.repeat or not self._fired)
+
+    def arm(self, fail_at: int, rank: int | None = None) -> None:
+        with self._lock:
+            self.fail_at = fail_at
+            self.rank = rank
+            self._fired = False
+
+    def disarm(self) -> None:
+        with self._lock:
+            self.fail_at = None
+            self._fired = False
+
+    def check(self, count: int, rank: int | None = None) -> None:
+        """Raise :class:`InjectedFailure` if the armed point is reached."""
+        with self._lock:
+            if self.fail_at is None or (self._fired and not self.repeat):
+                return
+            if count < self.fail_at:
+                return
+            if self.rank is not None and rank is not None and rank != self.rank:
+                return
+            self._fired = True
+            fail_at = self.fail_at
+        raise InjectedFailure(fail_at, rank)

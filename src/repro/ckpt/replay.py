@@ -1,0 +1,108 @@
+"""Safe-point counting and the replay protocol.
+
+Restart "relies on a replay mechanism to reconstruct the stack ... we
+actually only need to keep track of the number of safe points executed"
+(Section IV.A).  :class:`ReplayState` drives that: while active, woven
+ignorable methods are skipped and each safe point increments the counter;
+when the counter reaches the snapshot's count the saved data is restored
+and execution switches to normal mode.
+
+The same object also drives *run-time adaptation* replays (Section IV.B):
+rebuilding the call stack of new threads/ranks up to the team's current
+safe point, in which case there may be no snapshot to load (shared data is
+already in place) — ``snapshot=None`` expresses that.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.ckpt.snapshot import Snapshot
+
+
+class SafePointCounter:
+    """Thread-safe monotone counter of executed safe points."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._count = int(start)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def increment(self) -> int:
+        with self._lock:
+            self._count += 1
+            return self._count
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            if value < self._count:
+                raise ValueError("safe-point counter cannot move backwards")
+            self._count = value
+
+    def reset(self, value: int = 0) -> None:
+        with self._lock:
+            self._count = int(value)
+
+
+class ReplayState:
+    """Replay-to-safe-point driver.
+
+    ``on_restore(snapshot)`` is called exactly once, at the safe point whose
+    count matches ``target`` (the paper's step 4: "the checkpoint data is
+    loaded and execution proceeds normally from that point").
+    """
+
+    def __init__(self, target: int, snapshot: Snapshot | None = None,
+                 on_restore: Callable[[Snapshot | None], None] | None = None
+                 ) -> None:
+        if target < 0:
+            raise ValueError("replay target must be >= 0")
+        self.target = target
+        self.snapshot = snapshot
+        self.on_restore = on_restore
+        self._active = target > 0
+        self._restored = False
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot,
+                      on_restore: Callable[[Snapshot | None], None] | None = None
+                      ) -> "ReplayState":
+        return cls(target=snapshot.safepoint_count, snapshot=snapshot,
+                   on_restore=on_restore)
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while methods should be skipped (replay in progress)."""
+        return self._active
+
+    @property
+    def restored(self) -> bool:
+        return self._restored
+
+    def observe_safepoint(self, count: int) -> bool:
+        """Notify the replay driver that safe point ``count`` was reached.
+
+        Returns True exactly once — at the restore point — so the caller
+        can perform mode-specific post-restore work (e.g. scatter the
+        restored arrays in a distributed run).
+        """
+        if not self._active:
+            return False
+        if count < self.target:
+            return False
+        self._active = False
+        self._restored = True
+        if self.on_restore is not None:
+            self.on_restore(self.snapshot)
+        return True
+
+    def restore_into(self, instance: Any) -> None:
+        """Convenience: apply the snapshot's fields to ``instance``."""
+        if self.snapshot is not None:
+            self.snapshot.restore_into(instance)

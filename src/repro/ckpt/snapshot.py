@@ -1,0 +1,109 @@
+"""Snapshots: the data saved at a checkpoint.
+
+A snapshot records the values of the programmer-declared ``SafeData``
+fields plus the number of executed safe points.  The encoded form is
+deliberately mode-independent (Section IV.A: "the checkpoint data is the
+same in all environments"), which is what lets a run checkpointed under
+MPI-style execution restart as a sequential or threaded run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.serialization import (
+    crc32_of,
+    dumps_portable,
+    loads_portable,
+    nbytes_of,
+)
+
+FORMAT_VERSION = 1
+
+
+class SnapshotCorrupt(RuntimeError):
+    """A section failed its checksum or the container is malformed."""
+
+
+@dataclass
+class Snapshot:
+    """In-memory checkpoint: SafeData field values + safe-point count."""
+
+    app: str
+    safepoint_count: int
+    fields: dict[str, Any]
+    mode: str = "sequential"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, instance: Any, field_names: list[str], count: int,
+                app: str | None = None, mode: str = "sequential",
+                **meta: Any) -> "Snapshot":
+        """Snapshot ``field_names`` of ``instance`` at safe point ``count``.
+
+        Values are captured *by encoding* immediately, so later mutation of
+        the live object cannot corrupt a pending checkpoint.
+        """
+        missing = [f for f in field_names if not hasattr(instance, f)]
+        if missing:
+            raise AttributeError(
+                f"SafeData fields not present on instance: {missing}")
+        fields = {f: loads_portable(dumps_portable(getattr(instance, f)))
+                  for f in field_names}
+        return cls(app=app or type(instance).__name__,
+                   safepoint_count=count, fields=fields, mode=mode,
+                   meta=dict(meta))
+
+    def restore_into(self, instance: Any) -> None:
+        """Write the saved field values back onto ``instance``."""
+        for name, value in self.fields.items():
+            setattr(instance, name, value)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size — what the disk/network cost models charge."""
+        return sum(nbytes_of(v) for v in self.fields.values())
+
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialise to the portable container format.
+
+        Layout: a pickled envelope ``{header, sections}`` where each
+        section is ``(portable_bytes, crc32)``.  Everything inside the
+        sections uses :mod:`repro.util.serialization`'s portable encoding.
+        """
+        sections = {}
+        for name, value in self.fields.items():
+            blob = dumps_portable(value)
+            sections[name] = (blob, crc32_of(blob))
+        header = {
+            "version": FORMAT_VERSION,
+            "app": self.app,
+            "safepoint_count": self.safepoint_count,
+            "mode": self.mode,
+            "meta": self.meta,
+            "fields": list(self.fields),
+        }
+        return dumps_portable({"header": header, "sections": sections})
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Snapshot":
+        try:
+            envelope = loads_portable(data)
+            header = envelope["header"]
+            sections = envelope["sections"]
+        except Exception as exc:
+            raise SnapshotCorrupt(f"malformed snapshot container: {exc}") from exc
+        if header.get("version") != FORMAT_VERSION:
+            raise SnapshotCorrupt(
+                f"unsupported snapshot version {header.get('version')!r}")
+        fields: dict[str, Any] = {}
+        for name in header["fields"]:
+            blob, crc = sections[name]
+            if crc32_of(blob) != crc:
+                raise SnapshotCorrupt(f"checksum mismatch in field {name!r}")
+            fields[name] = loads_portable(blob)
+        return cls(app=header["app"], safepoint_count=header["safepoint_count"],
+                   fields=fields, mode=header["mode"], meta=header["meta"])

@@ -1,0 +1,149 @@
+"""Checkpoint storage and the run-status ledger (the ``pcr`` module).
+
+:class:`CheckpointStore` keeps numbered checkpoint files in a directory,
+written atomically (temp file + rename) so a crash mid-write can never
+leave a half-checkpoint that a restart would trust; corrupt files are
+detected by the snapshot's checksums and skipped in favour of the newest
+intact one.
+
+:class:`RunLedger` implements the paper's start-up protocol: "at
+application start-up, the pcr module verifies if the last execution was
+concluded without failures".  A run marks itself ``running`` on entry and
+``completed`` on clean exit; finding ``running`` on the next start means
+the previous execution crashed and replay mode is activated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+
+from repro.ckpt.snapshot import Snapshot, SnapshotCorrupt
+
+_CKPT_RE = re.compile(r"^ckpt_(\d{9})\.pcr$")
+
+
+class CheckpointStore:
+    """Directory of numbered, atomically-written checkpoint files."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        #: bytes written by the most recent :meth:`write` (cost accounting).
+        self.last_write_nbytes = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, count: int) -> Path:
+        return self.dir / f"ckpt_{count:09d}.pcr"
+
+    def write(self, snap: Snapshot) -> Path:
+        """Atomically persist ``snap``; returns the final path."""
+        data = snap.encode()
+        self.last_write_nbytes = len(data)
+        final = self.path_for(snap.safepoint_count)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return final
+
+    def counts(self) -> list[int]:
+        """Safe-point counts of all stored checkpoints, ascending."""
+        out = []
+        for name in os.listdir(self.dir):
+            m = _CKPT_RE.match(name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def read(self, count: int) -> Snapshot:
+        return Snapshot.decode(self.path_for(count).read_bytes())
+
+    def read_latest(self) -> Snapshot | None:
+        """Newest *intact* snapshot, or None.
+
+        Corrupt files (torn by a crash, flipped bits) are skipped, so
+        recovery degrades to an older checkpoint instead of failing.
+        """
+        for count in reversed(self.counts()):
+            try:
+                return self.read(count)
+            except (SnapshotCorrupt, OSError):
+                continue
+        return None
+
+    def prune(self, keep: int = 1) -> None:
+        """Delete all but the ``keep`` newest checkpoints."""
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        counts = self.counts()
+        for c in counts[: max(0, len(counts) - keep)]:
+            try:
+                self.path_for(c).unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        self.prune(keep=0)
+
+
+class RunLedger:
+    """Start/finish status of the application across executions."""
+
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FRESH = "fresh"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / "run_status.json"
+
+    # ------------------------------------------------------------------
+    def status(self) -> str:
+        if not self.path.exists():
+            return self.FRESH
+        try:
+            return json.loads(self.path.read_text()).get("status", self.FRESH)
+        except (json.JSONDecodeError, OSError):
+            # a torn status write is itself evidence of a crash
+            return self.RUNNING
+
+    def previous_run_failed(self) -> bool:
+        """The pcr start-up check: did the last execution crash?"""
+        return self.status() == self.RUNNING
+
+    def attempts(self) -> int:
+        if not self.path.exists():
+            return 0
+        try:
+            return int(json.loads(self.path.read_text()).get("attempts", 0))
+        except (json.JSONDecodeError, OSError):
+            return 0
+
+    # ------------------------------------------------------------------
+    def mark_running(self) -> None:
+        self._write({"status": self.RUNNING, "attempts": self.attempts() + 1})
+
+    def mark_completed(self) -> None:
+        self._write({"status": self.COMPLETED, "attempts": self.attempts()})
+
+    def reset(self) -> None:
+        if self.path.exists():
+            self.path.unlink()
+
+    def _write(self, payload: dict) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, self.path)

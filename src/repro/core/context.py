@@ -1,0 +1,548 @@
+"""ExecutionContext: the per-execution state behind every woven method.
+
+A context binds one application instance to one execution configuration:
+the mode, the thread team and/or rank identity, the checkpoint machinery
+(store, policy, safe-point counter, replay state, failure injector) and
+the adaptation plan.  Template wrappers fetch it from the instance
+(``instance.__pp_ctx__``) and delegate all mode-dependent behaviour here,
+which is what lets a single woven class execute sequentially, on a thread
+team, on a simulated cluster, or on both at once.
+
+The safe-point protocol (:meth:`on_safepoint`) is the paper's Figure 2 in
+code — counting, checkpoint-taking, replay/restore, failure injection and
+adaptation all happen at safe points:
+
+* sequential — run the protocol inline;
+* shared memory — rendezvous the team (``ThreadTeam.safepoint``) and run
+  the protocol once while everyone is parked, barriers included exactly
+  where the paper inserts them;
+* distributed — every rank runs the protocol in lockstep; saving gathers
+  partitioned fields at member 0 (no barriers — the paper's preferred
+  alternative) or writes per-rank shards between two global barriers (the
+  first alternative, kept for the ablation study);
+* hybrid — the team protocol per rank, with rank-level collectives run by
+  one thread per rank.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.ckpt.failure import FailureInjector
+from repro.ckpt.policy import CheckpointPolicy, Never
+from repro.ckpt.replay import ReplayState, SafePointCounter
+from repro.ckpt.snapshot import Snapshot
+from repro.ckpt.store import CheckpointStore
+from repro.core.adaptation import AdaptationPlan, AdaptStep
+from repro.core.errors import AdaptationExit, WeaveError
+from repro.core.modes import ExecConfig, Mode
+from repro.dsm.comm import RankContext
+from repro.dsm.partition import (
+    BlockLayout,
+    exchange_halo,
+    gather_inplace,
+    scatter_inplace,
+)
+from repro.smp.sched import Schedule
+from repro.smp.team import ThreadTeam, current_worker
+from repro.util.events import EventLog
+from repro.vtime.clock import VClock
+from repro.vtime.machine import MachineModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.templates import ForMethod, Partitioned
+
+#: checkpoint placement strategies for distributed runs (Section IV.A).
+STRATEGY_MASTER = "master"  # collect at member 0; mode-independent file
+STRATEGY_LOCAL = "local"    # per-rank shards between two barriers
+
+
+class ExecutionContext:
+    """Everything a woven instance needs to execute in one configuration."""
+
+    def __init__(self,
+                 config: ExecConfig,
+                 machine: MachineModel | None = None,
+                 log: EventLog | None = None,
+                 store: CheckpointStore | None = None,
+                 policy: CheckpointPolicy | None = None,
+                 injector: FailureInjector | None = None,
+                 plan: AdaptationPlan | None = None,
+                 replay: ReplayState | None = None,
+                 safedata: list[str] | None = None,
+                 partitioned: "dict[str, Partitioned] | None" = None,
+                 ckpt_strategy: str = STRATEGY_MASTER,
+                 team: ThreadTeam | None = None,
+                 rankctx: RankContext | None = None,
+                 start_count: int = 0,
+                 advisor=None) -> None:
+        if ckpt_strategy not in (STRATEGY_MASTER, STRATEGY_LOCAL):
+            raise ValueError(f"unknown checkpoint strategy {ckpt_strategy!r}")
+        self.config = config
+        self.machine = machine if machine is not None else MachineModel()
+        self.log = log if log is not None else EventLog()
+        self.store = store
+        self.policy = policy if policy is not None else Never()
+        self.injector = injector if injector is not None else FailureInjector()
+        self.plan = plan if plan is not None else AdaptationPlan()
+        self.replay = replay
+        self.safedata = list(safedata or [])
+        self.partitioned = dict(partitioned or {})
+        self.ckpt_strategy = ckpt_strategy
+        self.rankctx = rankctx
+        #: optional SelfAdaptationAdvisor (sequential/shared phases only).
+        self.advisor = advisor
+        self.counter = SafePointCounter(start_count)
+        self.instance: Any = None
+        self._seq_clock = VClock()
+        self._last_counted: tuple[int, int] = (-1, -1)  # (region_gen, sp)
+
+        if config.mode.uses_team:
+            self.team = team if team is not None else ThreadTeam(self.machine, size=config.workers,
+                                           log=self.log)
+        else:
+            self.team = None
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> Mode:
+        return self.config.mode
+
+    @property
+    def rank(self) -> int:
+        return self.rankctx.rank if self.rankctx is not None else 0
+
+    @property
+    def nranks(self) -> int:
+        return self.rankctx.nranks if self.rankctx is not None else 1
+
+    def clock(self) -> VClock:
+        """The virtual clock of the calling thread's line of execution."""
+        w = current_worker()
+        if w is not None:
+            return w.clock
+        if self.rankctx is not None:
+            return self.rankctx.clock
+        if self.team is not None:
+            return self.team.clock
+        return self._seq_clock
+
+    def max_time(self) -> float:
+        if self.rankctx is not None:
+            return self.rankctx.clock.now
+        if self.team is not None:
+            return self.team.clock.now
+        return self._seq_clock.now
+
+    def bind(self, instance: Any) -> None:
+        """Attach this context to a woven instance (validates fields)."""
+        for f in self.safedata:
+            if not hasattr(instance, f):
+                raise WeaveError(f"SafeData field {f!r} missing on instance")
+        for f in self.partitioned:
+            if not hasattr(instance, f):
+                raise WeaveError(f"Partitioned field {f!r} missing")
+        instance.__pp_ctx__ = self
+        self.instance = instance
+
+    # ------------------------------------------------------------------
+    # wrapper services: replay / region / barriers / locks
+    # ------------------------------------------------------------------
+    def replay_active(self) -> bool:
+        """Should ignorable methods be skipped right now?
+
+        True during application-level restart replay and during a new
+        team thread's region replay.
+        """
+        w = current_worker()
+        if w is not None and w.replaying:
+            return True
+        return self.replay is not None and self.replay.active
+
+    def in_region(self) -> bool:
+        return self.team is not None and self.team.in_region()
+
+    def barrier(self) -> None:
+        if self.in_region():
+            self.team.barrier()  # type: ignore[union-attr]
+        elif self.mode.uses_cluster and self.rankctx is not None:
+            if not self.replay_active():
+                self.rankctx.comm.barrier()
+
+    def lock(self, name: str):
+        if self.team is not None:
+            return self.team.locks().lock(name)
+        import threading
+
+        return threading.RLock()
+
+    def is_master_thread(self) -> bool:
+        return self.team.is_master() if self.team is not None else True
+
+    def is_master_rank(self) -> bool:
+        return self.rank == 0
+
+    # ------------------------------------------------------------------
+    # work sharing (ForMethod)
+    # ------------------------------------------------------------------
+    def for_ranges(self, lo: int, hi: int, tmpl: "ForMethod"):
+        """The sub-ranges of ``[lo, hi)`` this line of execution runs.
+
+        Distributed modes first restrict to the rank's partition (aligned
+        with a Partitioned field's layout when declared); team modes then
+        split among threads.  Replay consumes work-sharing occurrences but
+        receives no work.
+
+        Returns an *iterable*; for dynamic/guided schedules it is lazy, so
+        chunk grabs interleave with chunk execution — draining the shared
+        loop up front would hand all the work to the first-arriving
+        thread and defeat the schedule.
+        """
+        ranges = [(lo, hi)]
+        if self.mode.uses_cluster and self.rankctx is not None:
+            ranges = self._rank_restrict(lo, hi, tmpl)
+        if self.team is not None and self.team.in_region():
+            # worksharing registers the occurrence eagerly (at call time),
+            # which keeps replaying members' counters aligned even though
+            # consumption below is lazy.
+            shares = [self.team.worksharing(s, e, tmpl.schedule, tmpl.chunk)
+                      for s, e in ranges]
+            if self.replay_active():
+                return []
+            import itertools
+
+            return itertools.chain.from_iterable(shares)
+        if self.replay_active():
+            return []
+        return ranges
+
+    def _rank_restrict(self, lo: int, hi: int, tmpl: "ForMethod"
+                       ) -> list[tuple[int, int]]:
+        from repro.dsm.partition import local_slice
+
+        r, p = self.rank, self.nranks
+        part = self.partitioned.get(tmpl.align) if tmpl.align else None
+        if part is None:
+            s, e = local_slice(hi - lo, r, p)
+            return [(lo + s, lo + e)] if s < e else []
+        layout = part.layout
+        arr = getattr(self.instance, tmpl.align)
+        n = arr.shape[layout.axis]
+        owned = layout.owned(n, r, p)
+        owned = owned[(owned >= lo) & (owned < hi)]
+        return _contiguous_runs(owned)
+
+    # ------------------------------------------------------------------
+    # distributed data movement (Scatter / Gather / Halo templates)
+    # ------------------------------------------------------------------
+    def _part(self, field: str) -> "Partitioned":
+        part = self.partitioned.get(field)
+        if part is None:
+            raise WeaveError(
+                f"field {field!r} is not declared Partitioned; Scatter/"
+                f"Gather/Halo templates require a Partitioned declaration")
+        return part
+
+    def _rank_comm_guarded(self, op: Callable[[], None]) -> None:
+        """Run a rank-level collective exactly once per rank.
+
+        Outside a team region the rank thread runs it directly.  Inside a
+        hybrid region only the team master performs communication, with
+        team barriers fencing it so every thread observes the moved data.
+        """
+        if self.team is not None and self.team.in_region():
+            self.team.barrier()
+            if self.team.is_master():
+                op()
+            self.team.barrier()
+        else:
+            op()
+
+    def scatter_field(self, field: str) -> None:
+        if not (self.mode.uses_cluster and self.rankctx is not None):
+            return
+        if self.replay_active():
+            return  # data will come from the snapshot at the restore point
+        part = self._part(field)
+
+        def _do() -> None:
+            arr = getattr(self.instance, field)
+            scatter_inplace(self.rankctx.comm, arr, part.layout, root=0)
+            self.log.emit("scatter", vtime=self.rankctx.clock.now,
+                          rank=self.rank, field=field)
+
+        self._rank_comm_guarded(_do)
+
+    def gather_field(self, field: str) -> None:
+        if not (self.mode.uses_cluster and self.rankctx is not None):
+            return
+        if self.replay_active():
+            return
+        part = self._part(field)
+
+        def _do() -> None:
+            arr = getattr(self.instance, field)
+            gather_inplace(self.rankctx.comm, arr, part.layout, root=0)
+            self.log.emit("gather", vtime=self.rankctx.clock.now,
+                          rank=self.rank, field=field)
+
+        self._rank_comm_guarded(_do)
+
+    def allgather_field(self, field: str) -> None:
+        """Whole-array refresh of a partitioned field on every member."""
+        if not (self.mode.uses_cluster and self.rankctx is not None):
+            return
+        if self.replay_active():
+            return
+        part = self._part(field)
+
+        def _do() -> None:
+            comm = self.rankctx.comm
+            arr = getattr(self.instance, field)
+            gather_inplace(comm, arr, part.layout, root=0)
+            full = comm.bcast(arr if self.rank == 0 else None, root=0)
+            if self.rank != 0:
+                arr[...] = full
+            self.log.emit("allgather", vtime=self.rankctx.clock.now,
+                          rank=self.rank, field=field)
+
+        self._rank_comm_guarded(_do)
+
+    def halo_field(self, field: str) -> None:
+        if not (self.mode.uses_cluster and self.rankctx is not None):
+            return
+        if self.replay_active():
+            return
+        part = self._part(field)
+        if not isinstance(part.layout, BlockLayout) or part.layout.halo < 1:
+            raise WeaveError(
+                f"HaloExchange needs BlockLayout(halo>=1) on {field!r}")
+
+        def _do() -> None:
+            exchange_halo(self.rankctx.comm, getattr(self.instance, field),
+                          part.layout)
+
+        self._rank_comm_guarded(_do)
+
+    def reduce_result(self, value: Any,
+                      combine: Callable[[Any, Any], Any] | None) -> Any:
+        if not (self.mode.uses_cluster and self.rankctx is not None):
+            return value
+        if self.replay_active():
+            return value
+        if self.team is not None and self.team.in_region():
+            raise WeaveError(
+                "ReduceResult inside a hybrid parallel region is not "
+                "supported; call the reduced method at rank level")
+        return self.rankctx.comm.allreduce(value, op=combine)
+
+    # ------------------------------------------------------------------
+    # the safe-point protocol
+    # ------------------------------------------------------------------
+    def on_safepoint(self) -> None:
+        """Pass one safe point (Figure 2 of the paper)."""
+        if self.team is not None and self.team.in_region():
+            self.team.safepoint(self._team_action)
+            return
+        # sequential or rank-level safe point
+        count = self.counter.increment()
+        self.clock().charge_compute(5e-8)
+        self._protocol(count)
+
+    def _team_action(self, sp_index: int, team: ThreadTeam) -> bool:
+        """Runs once per team passage, all members parked."""
+        key = (team.region_gen, sp_index)
+        if key > self._last_counted:
+            self._last_counted = key
+            count = self.counter.increment()
+        else:
+            count = self.counter.count  # barrier-growth re-run: idempotent
+        return self._protocol(count)
+
+    def _protocol(self, count: int) -> bool:
+        """Counting done; apply injection, replay, checkpointing, adaptation.
+
+        Returns True if real work happened (the team charges its barrier
+        pair only in that case).
+        """
+        acted = False
+        if self.rank == 0:
+            # one timestamped event per safe point: the per-iteration
+            # timeline of the paper's Figure 6 is reconstructed from these.
+            self.log.emit("safepoint", vtime=self.clock().now, count=count)
+        self.injector.check(count, rank=self.rank if self.rankctx else None)
+        if self.replay is not None and self.replay.active:
+            if self.replay.observe_safepoint(count):
+                self._restore(self.replay.snapshot, count)
+                acted = True
+            return acted
+        if self.policy.due(count):
+            self.policy.mark_taken(count)
+            self._take_checkpoint(count)
+            acted = True
+        step = self.plan.step_at(count)
+        if step is None:
+            pending = self.plan.take_pending()
+            if pending is not None:
+                step = AdaptStep(at=count, config=pending)
+        if step is None and self.advisor is not None \
+                and self.rankctx is None:
+            target = self.advisor.on_safepoint(count, self.clock().now,
+                                               self.config)
+            if target is not None:
+                step = AdaptStep(at=count, config=target)
+        if step is not None and step.config != self.config:
+            self._adapt(step, count)  # may raise AdaptationExit
+            acted = True
+        return acted
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def capture_snapshot(self, count: int, collect: bool = True) -> Snapshot:
+        """Build the mode-independent (master-format) snapshot.
+
+        In distributed modes, partitioned fields are first collected at
+        member 0 so the snapshot is whole — "collecting the data and
+        taking the snapshot at the master process ... mak[es] it possible
+        to restart the application on any of the execution modes".
+        All ranks return a Snapshot object but only member 0's holds data.
+        """
+        if collect and self.mode.uses_cluster and self.rankctx is not None:
+            for f in self.safedata:
+                part = self.partitioned.get(f)
+                if part is not None and not part.whole_at_safepoints:
+                    gather_inplace(self.rankctx.comm,
+                                   getattr(self.instance, f),
+                                   part.layout, root=0)
+        return Snapshot.capture(
+            self.instance, self.safedata, count,
+            mode=self.mode.value, nranks=self.nranks,
+            workers=self.config.workers)
+
+    def _take_checkpoint(self, count: int) -> None:
+        if self.store is None:
+            raise WeaveError("checkpoint due but no CheckpointStore configured")
+        if self.ckpt_strategy == STRATEGY_LOCAL and self.rankctx is not None \
+                and self.mode.uses_cluster:
+            self._take_checkpoint_local(count)
+            return
+        t0 = self.clock().now
+        snap = self.capture_snapshot(count)
+        if self.rank == 0:
+            self.store.write(snap)
+            self.clock().charge_io(
+                self.machine.disk.write_cost(self.store.last_write_nbytes))
+        self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
+                      count=count, nbytes=snap.nbytes,
+                      strategy=self.ckpt_strategy,
+                      save_seconds=self.clock().now - t0)
+
+    def _take_checkpoint_local(self, count: int) -> None:
+        """Per-rank shards with the paper's two global barriers."""
+        assert self.rankctx is not None and self.store is not None
+        self.rankctx.comm.barrier()
+        snap = Snapshot.capture(
+            self.instance, self.safedata, count,
+            mode=self.mode.value, nranks=self.nranks, shard=self.rank)
+        path = self.store.dir / f"ckpt_{count:09d}.r{self.rank}.pcr"
+        data = snap.encode()
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(data)
+        tmp.replace(path)
+        self.clock().charge_io(self.machine.disk.write_cost(len(data)))
+        self.rankctx.comm.barrier()
+        self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
+                      count=count, nbytes=snap.nbytes, strategy="local")
+
+    def _restore(self, snap: Snapshot | None, count: int) -> None:
+        """Load checkpoint data at the replay target (Figure 2b, step 4).
+
+        In distributed modes *every* rank participates in the scatter /
+        broadcast collectives even though only member 0 holds the snapshot
+        (non-root members receive their partitions over the wire).
+        """
+        t0 = self.clock().now
+        if self.mode.uses_cluster and self.rankctx is not None:
+            comm = self.rankctx.comm
+            if self.rank == 0 and snap is not None:
+                if snap.meta.get("from_disk"):
+                    self.clock().charge_io(
+                        self.machine.disk.read_cost(snap.nbytes))
+                snap.restore_into(self.instance)
+            for f in self.safedata:
+                part = self.partitioned.get(f)
+                if part is not None and not part.whole_at_safepoints:
+                    scatter_inplace(comm, getattr(self.instance, f),
+                                    part.layout, root=0)
+                else:
+                    setattr(self.instance, f,
+                            comm.bcast(getattr(self.instance, f), root=0))
+        else:
+            if snap is None:
+                return  # pure call-stack replay: data is already in place
+            if snap.meta.get("from_disk"):
+                self.clock().charge_io(self.machine.disk.read_cost(snap.nbytes))
+            snap.restore_into(self.instance)
+        self.log.emit("restore", vtime=self.clock().now, rank=self.rank,
+                      count=count, nbytes=snap.nbytes if snap else 0,
+                      load_seconds=self.clock().now - t0)
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def _adapt(self, step: AdaptStep, count: int) -> None:
+        new = step.config
+        cur = self.config
+        live_team_resize = (
+            not step.via_restart
+            and new.mode == cur.mode
+            and new.nranks == cur.nranks
+            and cur.mode.uses_team
+            and self.team is not None)
+        if live_team_resize:
+            # run-time protocol, thread dimension only: reshape in place.
+            self.team.request_resize(new.workers)
+            self.config = new
+            self.log.emit("adapt_resize", vtime=self.clock().now,
+                          count=count, workers=new.workers)
+            return
+        # Reshaping ranks or switching modes: unwind and relaunch.
+        snap = self.capture_snapshot(count)
+        if step.via_restart:
+            # checkpoint/restart path: persist, then the relaunch reads
+            # the file back (charging disk both ways).
+            if self.store is None:
+                raise WeaveError("restart-based adaptation needs a store")
+            if self.rank == 0:
+                self.store.write(snap)
+                self.clock().charge_io(self.machine.disk.write_cost(
+                    self.store.last_write_nbytes))
+            snap.meta["from_disk"] = True
+        self.log.emit("adapt_exit", vtime=self.clock().now, rank=self.rank,
+                      count=count, to=str(new), restart=step.via_restart)
+        raise AdaptationExit(snap if self.rank == 0 else None, step)
+
+
+def _contiguous_runs(indices) -> list[tuple[int, int]]:
+    """Collapse a sorted index vector into [start, stop) runs."""
+    runs: list[tuple[int, int]] = []
+    start = prev = None
+    for i in indices:
+        i = int(i)
+        if start is None:
+            start = prev = i
+        elif i == prev + 1:
+            prev = i
+        else:
+            runs.append((start, prev + 1))
+            start = prev = i
+    if start is not None:
+        runs.append((start, prev + 1))
+    return runs
+
+
+def clone_policy(policy: CheckpointPolicy) -> CheckpointPolicy:
+    """Fresh per-rank copy of a policy (policies hold idempotence state)."""
+    return copy.deepcopy(policy)

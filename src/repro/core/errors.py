@@ -1,0 +1,33 @@
+"""Core exception types."""
+
+from __future__ import annotations
+
+
+class WeaveError(TypeError):
+    """A template refers to a missing method/field, or weaving is invalid."""
+
+
+class AdaptationExit(BaseException):
+    """Control-flow signal: unwind the current execution for reshaping.
+
+    Raised at a safe point when the requested adaptation cannot be applied
+    in place (e.g. changing the rank count).  Carries the in-memory
+    snapshot captured at that safe point so the runtime can relaunch in
+    the new configuration and replay to it without touching disk — the
+    paper's *run-time* adaptation path, as opposed to checkpoint/restart.
+
+    Derives from ``BaseException`` so application-level ``except
+    Exception`` handlers in domain code cannot swallow it.
+
+    ``cooperative_unwind`` tells the SimCluster that every rank raises
+    this on its own at the same safe point: the cluster must NOT tear the
+    communicator down early (member 0 may still be draining the state
+    gather that the other members already sent).
+    """
+
+    cooperative_unwind = True
+
+    def __init__(self, snapshot, new_config) -> None:
+        super().__init__(f"adapt to {new_config}")
+        self.snapshot = snapshot
+        self.new_config = new_config

@@ -1,0 +1,74 @@
+"""Execution modes.
+
+Pluggable parallelisation deploys one code base in multiple execution
+modes (Section III.A): strict sequential, shared-memory threads,
+distributed-memory aggregates, and the hybrid composition.  The mode is a
+property of the *execution context*, not the woven class: the same woven
+class runs in any mode, which is what makes run-time adaptation possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Mode(enum.Enum):
+    SEQUENTIAL = "sequential"
+    SHARED = "shared"          # threads on one node (OpenMP-like)
+    DISTRIBUTED = "distributed"  # object aggregates across nodes (MPI-like)
+    HYBRID = "hybrid"          # aggregates of thread teams
+
+    @property
+    def uses_team(self) -> bool:
+        return self in (Mode.SHARED, Mode.HYBRID)
+
+    @property
+    def uses_cluster(self) -> bool:
+        return self in (Mode.DISTRIBUTED, Mode.HYBRID)
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """A concrete resource shape: mode + worker/rank counts.
+
+    ``processing_elements`` is the figure-of-merit the paper's plots use
+    ("lines of execution" for threads, processes for MPI).
+    """
+
+    mode: Mode = Mode.SEQUENTIAL
+    workers: int = 1   # threads per team (SHARED / HYBRID)
+    nranks: int = 1    # aggregate members (DISTRIBUTED / HYBRID)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1 or self.nranks < 1:
+            raise ValueError("workers and nranks must be >= 1")
+        if self.mode is Mode.SEQUENTIAL and (self.workers > 1 or self.nranks > 1):
+            raise ValueError("sequential mode is single-worker by definition")
+        if self.mode is Mode.SHARED and self.nranks > 1:
+            raise ValueError("shared-memory mode cannot have multiple ranks")
+        if self.mode is Mode.DISTRIBUTED and self.workers > 1:
+            raise ValueError(
+                "distributed mode is one worker per rank (use HYBRID)")
+
+    @property
+    def processing_elements(self) -> int:
+        return self.workers * self.nranks
+
+    @classmethod
+    def sequential(cls) -> "ExecConfig":
+        return cls(Mode.SEQUENTIAL)
+
+    @classmethod
+    def shared(cls, workers: int) -> "ExecConfig":
+        if workers == 1:
+            return cls(Mode.SHARED, workers=1)
+        return cls(Mode.SHARED, workers=workers)
+
+    @classmethod
+    def distributed(cls, nranks: int) -> "ExecConfig":
+        return cls(Mode.DISTRIBUTED, nranks=nranks)
+
+    @classmethod
+    def hybrid(cls, nranks: int, workers: int) -> "ExecConfig":
+        return cls(Mode.HYBRID, workers=workers, nranks=nranks)

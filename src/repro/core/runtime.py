@@ -1,0 +1,296 @@
+"""The Runtime: launching, restarting and reshaping woven applications.
+
+``Runtime.run(...)`` is the rewritten "main" of the paper's Figure 2: it
+performs the pcr start-up check (did the previous execution fail? is
+there a checkpoint to replay to?), launches the application in the
+requested configuration, and loops on the two unwind events:
+
+* :class:`AdaptationExit` — a safe point decided to reshape across ranks
+  or modes.  The runtime relaunches in the new configuration with a
+  replay state targeting the exit safe point.  Live adaptations hand the
+  captured snapshot over in memory; restart-based ones read it back from
+  the checkpoint store and additionally pay the restart penalty.
+* failures (:class:`InjectedFailure`, or a rank failure wrapping one) —
+  with ``auto_recover`` the runtime restarts from the newest checkpoint,
+  optionally in a different configuration (``recover_config``), which is
+  exactly the paper's Figure 6 experiment.
+
+Virtual time is continuous across phases: each relaunch's clocks start at
+the previous phase's end time plus the modelled transition overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.ckpt.failure import FailureInjector, InjectedFailure
+from repro.ckpt.policy import CheckpointPolicy, Never
+from repro.ckpt.replay import ReplayState
+from repro.ckpt.snapshot import Snapshot
+from repro.ckpt.store import CheckpointStore, RunLedger
+from repro.core.adaptation import AdaptationPlan, AdaptationRecord
+from repro.core.context import (
+    STRATEGY_MASTER,
+    ExecutionContext,
+    clone_policy,
+)
+from repro.core.errors import AdaptationExit, WeaveError
+from repro.core.modes import ExecConfig, Mode
+from repro.core.plugs import PlugSet
+from repro.core.rewriter import is_woven
+from repro.dsm.comm import current_rank
+from repro.dsm.simcluster import RankFailure, SimCluster
+from repro.smp.team import ThreadTeam
+from repro.util.events import EventLog
+from repro.vtime.machine import MachineModel
+
+
+@dataclass
+class PhaseReport:
+    """One launch segment between adaptations/restarts."""
+
+    config: ExecConfig
+    start_vtime: float
+    end_vtime: float
+    outcome: str  # "completed" | "adapted" | "failed"
+
+
+@dataclass
+class RunResult:
+    """What a :meth:`Runtime.run` invocation produced."""
+
+    value: Any
+    vtime: float
+    events: EventLog
+    final_config: ExecConfig
+    phases: list[PhaseReport] = field(default_factory=list)
+    restarts: int = 0
+    adaptations: list[AdaptationRecord] = field(default_factory=list)
+
+    @property
+    def adapted(self) -> bool:
+        return bool(self.adaptations)
+
+
+class Runtime:
+    """Launcher bound to a machine model and a checkpoint directory."""
+
+    def __init__(self,
+                 machine: MachineModel | None = None,
+                 ckpt_dir: str | os.PathLike | None = None,
+                 policy: CheckpointPolicy | None = None,
+                 ckpt_strategy: str = STRATEGY_MASTER,
+                 log: EventLog | None = None,
+                 restart_penalty: float = 0.02,
+                 adapt_penalty: float = 0.01) -> None:
+        self.machine = machine if machine is not None else MachineModel()
+        if ckpt_dir is None:
+            ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+        self.store = CheckpointStore(ckpt_dir)
+        self.ledger = RunLedger(ckpt_dir)
+        self.policy = policy if policy is not None else Never()
+        self.ckpt_strategy = ckpt_strategy
+        self.log = log if log is not None else EventLog()
+        #: modelled process-teardown + relaunch cost (JVM/job-submit class).
+        self.restart_penalty = restart_penalty
+        #: modelled coordination cost of a live cross-mode adaptation.
+        self.adapt_penalty = adapt_penalty
+
+    # ------------------------------------------------------------------
+    def run(self,
+            woven: type,
+            ctor_args: tuple = (),
+            ctor_kwargs: dict | None = None,
+            entry: str = "run",
+            entry_args: tuple = (),
+            config: ExecConfig = ExecConfig.sequential(),
+            plan: AdaptationPlan | None = None,
+            injector: FailureInjector | None = None,
+            auto_recover: bool = False,
+            max_restarts: int = 8,
+            recover_config: Callable[[int], ExecConfig] | None = None,
+            advisor=None,
+            fresh: bool = False) -> RunResult:
+        """Execute ``woven(*ctor_args).entry(*entry_args)`` to completion.
+
+        ``fresh`` wipes ledger + checkpoints first (ignore earlier runs).
+        """
+        if not is_woven(woven):
+            raise WeaveError(
+                f"{woven.__name__} is not woven; call plug(cls, plugset)")
+        ctor_kwargs = ctor_kwargs or {}
+        self._advisor = advisor
+        plan = plan if plan is not None else AdaptationPlan()
+        injector = injector if injector is not None else FailureInjector()
+        if fresh:
+            self.ledger.reset()
+            self.store.clear()
+
+        # --- pcr start-up check (Figure 2 step 1) ----------------------
+        replay: ReplayState | None = None
+        if self.ledger.previous_run_failed():
+            snap = self.store.read_latest()
+            if snap is not None:
+                snap.meta["from_disk"] = True
+                replay = ReplayState.from_snapshot(snap)
+                self.log.emit("pcr_replay_engaged",
+                              count=snap.safepoint_count)
+
+        vtime = 0.0
+        phases: list[PhaseReport] = []
+        adaptations: list[AdaptationRecord] = []
+        restarts = 0
+
+        while True:
+            self.ledger.mark_running()
+            probe: dict[str, float] = {"end": vtime}
+            try:
+                value = self._launch_phase(
+                    woven, ctor_args, ctor_kwargs, entry, entry_args,
+                    config, plan, injector, replay, vtime, probe)
+                self.ledger.mark_completed()
+                phases.append(PhaseReport(config, vtime, probe["end"],
+                                          "completed"))
+                return RunResult(value=value, vtime=probe["end"],
+                                 events=self.log, final_config=config,
+                                 phases=phases, restarts=restarts,
+                                 adaptations=adaptations)
+            except AdaptationExit as ae:
+                phases.append(PhaseReport(config, vtime, probe["end"],
+                                          "adapted"))
+                step = ae.new_config
+                snap = ae.snapshot
+                if step.via_restart:
+                    disk = self.store.read_latest()
+                    if disk is None or disk.safepoint_count != step.at:
+                        raise WeaveError(
+                            "restart-based adaptation found no checkpoint "
+                            f"at safe point {step.at}") from ae
+                    disk.meta["from_disk"] = True
+                    snap = disk
+                    vtime = probe["end"] + self.restart_penalty
+                else:
+                    vtime = probe["end"] + self.adapt_penalty
+                adaptations.append(AdaptationRecord(
+                    at_count=step.at, from_config=config,
+                    to_config=step.config, via_restart=step.via_restart,
+                    vtime=vtime))
+                replay = ReplayState(target=step.at, snapshot=snap)
+                config = step.config
+                continue
+            except InjectedFailure as fail:
+                phases.append(PhaseReport(config, vtime, probe["end"],
+                                          "failed"))
+                self.log.emit("failure", vtime=probe["end"],
+                              count=fail.safepoint)
+                if not auto_recover:
+                    raise  # ledger stays "running": next run() replays
+                restarts += 1
+                if restarts > max_restarts:
+                    raise
+                snap = self.store.read_latest()
+                if snap is not None:
+                    snap.meta["from_disk"] = True
+                    replay = ReplayState.from_snapshot(snap)
+                else:
+                    replay = None  # no checkpoint: recompute from scratch
+                if recover_config is not None:
+                    config = recover_config(restarts)
+                vtime = probe["end"] + self.restart_penalty
+                continue
+
+    # ------------------------------------------------------------------
+    def _launch_phase(self, woven: type, ctor_args: tuple, ctor_kwargs: dict,
+                      entry: str, entry_args: tuple, config: ExecConfig,
+                      plan: AdaptationPlan, injector: FailureInjector,
+                      replay: ReplayState | None, start_vtime: float,
+                      probe: dict[str, float]) -> Any:
+        if config.mode.uses_cluster:
+            return self._launch_cluster(
+                woven, ctor_args, ctor_kwargs, entry, entry_args, config,
+                plan, injector, replay, start_vtime, probe)
+        return self._launch_local(
+            woven, ctor_args, ctor_kwargs, entry, entry_args, config,
+            plan, injector, replay, start_vtime, probe)
+
+    def _make_context(self, woven: type, config: ExecConfig,
+                      plan: AdaptationPlan, injector: FailureInjector,
+                      replay: ReplayState | None, rankctx=None,
+                      team: ThreadTeam | None = None) -> ExecutionContext:
+        plugset: PlugSet = getattr(woven, "__pp_plugs__", PlugSet())
+        rep = None
+        if replay is not None:
+            # each rank/phase needs its own replay cursor over the shared
+            # snapshot (replay state is consumed as safe points pass).
+            rep = ReplayState(
+                target=replay.target,
+                snapshot=replay.snapshot
+                if (rankctx is None or rankctx.rank == 0) else None)
+        return ExecutionContext(
+            config=config, machine=self.machine, log=self.log,
+            store=self.store, policy=clone_policy(self.policy),
+            injector=injector, plan=plan, replay=rep,
+            safedata=plugset.safedata_fields(),
+            partitioned=plugset.partitioned_fields(),
+            ckpt_strategy=self.ckpt_strategy, rankctx=rankctx, team=team,
+            advisor=getattr(self, "_advisor", None))
+
+    def _launch_local(self, woven, ctor_args, ctor_kwargs, entry, entry_args,
+                      config, plan, injector, replay, start_vtime, probe):
+        """Sequential or shared-memory phase (single simulated node)."""
+        ctx = self._make_context(woven, config, plan, injector, replay)
+        if ctx.team is not None:
+            ctx.team.clock.advance_to(start_vtime)
+        else:
+            ctx._seq_clock.advance_to(start_vtime)
+        try:
+            instance = woven(*ctor_args, **ctor_kwargs)
+            ctx.bind(instance)
+            return getattr(instance, entry)(*entry_args)
+        finally:
+            probe["end"] = max(probe["end"], ctx.max_time())
+
+    def _launch_cluster(self, woven, ctor_args, ctor_kwargs, entry,
+                        entry_args, config, plan, injector, replay,
+                        start_vtime, probe):
+        """Distributed or hybrid phase on a fresh SimCluster."""
+        cluster = SimCluster(config.nranks, self.machine, self.log,
+                             start_time=start_vtime)
+
+        def rank_entry():
+            rankctx = current_rank()
+            team = None
+            if config.mode is Mode.HYBRID:
+                team = ThreadTeam(self.machine, size=config.workers,
+                                  log=self.log)
+                team.clock.advance_to(rankctx.clock.now)
+            ctx = self._make_context(woven, config, plan, injector, replay,
+                                     rankctx=rankctx, team=team)
+            instance = woven(*ctor_args, **ctor_kwargs)
+            ctx.bind(instance)
+            result = getattr(instance, entry)(*entry_args)
+            if team is not None:
+                rankctx.clock.advance_to(team.clock.now)
+            return result
+
+        try:
+            results = cluster.run(rank_entry)
+            return results[0]
+        except RankFailure as rf:
+            # unwrap the interesting causes gathered across ranks
+            causes = [e.cause for e in cluster.errors]
+            exits = [c for c in causes if isinstance(c, AdaptationExit)]
+            with_snap = [c for c in exits if c.snapshot is not None]
+            if with_snap:
+                raise with_snap[0] from None
+            if exits:
+                raise exits[0] from None
+            fails = [c for c in causes if isinstance(c, InjectedFailure)]
+            if fails:
+                raise fails[0] from None
+            raise rf
+        finally:
+            probe["end"] = max(probe["end"], cluster.max_time)

@@ -1,0 +1,253 @@
+"""MPI-like communicator over in-process mailboxes, with virtual time.
+
+API follows mpi4py's lower-case generic-object conventions (``send`` /
+``recv`` / ``bcast`` / ``scatter`` / ``gather`` / ``reduce`` / ...): the
+object is an argument, the received object is the return value.  numpy
+arrays travel by reference but are defensively copied at the send side, so
+ranks never alias each other's buffers (value semantics, like real MPI).
+
+Every operation charges virtual time: the sender computes the arrival time
+from the machine's network model (placement-aware: intra- vs inter-node);
+the receiver couples its clock to it.  Collectives are implemented with
+real point-to-point messages through the root — a flat algorithm whose
+linear-in-P root cost is exactly the behaviour the paper's Figure 4/5
+discussion describes for collecting checkpoint data at the master.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.dsm.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
+from repro.smp.barrier import AdaptiveBarrier
+from repro.util.serialization import nbytes_of
+from repro.vtime.clock import VClock
+from repro.vtime.machine import MachineModel
+
+#: reserved tag space for collective plumbing (user tags must be < this).
+TAG_COLL = 1 << 30
+MAX_USER_TAG = TAG_COLL - 1
+
+_tl = threading.local()
+
+
+def current_rank() -> "RankContext | None":
+    """The rank context bound to the calling thread (None outside ranks)."""
+    return getattr(_tl, "rank_ctx", None)
+
+
+def _bind(ctx: "RankContext | None") -> None:
+    _tl.rank_ctx = ctx
+
+
+@dataclass
+class RankContext:
+    """Identity of one SPMD rank: id, clock, communicator."""
+
+    rank: int
+    nranks: int
+    clock: VClock
+    comm: "Communicator"
+
+    @property
+    def is_root(self) -> bool:
+        return self.rank == 0
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Value semantics for the common payload shapes."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (list, tuple)):
+        t = type(obj)
+        return t(_copy_payload(x) for x in obj)
+    return obj  # scalars / immutables / user objects sent by reference
+
+
+class Communicator:
+    """Collective + point-to-point communication among ``nranks`` ranks."""
+
+    def __init__(self, nranks: int, machine: MachineModel,
+                 clocks: Sequence[VClock]) -> None:
+        if nranks < 1:
+            raise ValueError("communicator needs at least one rank")
+        if len(clocks) != nranks:
+            raise ValueError("one clock per rank required")
+        self.nranks = nranks
+        self.machine = machine
+        self.clocks = list(clocks)
+        self.mailboxes = [Mailbox(r) for r in range(nranks)]
+        self._barrier = AdaptiveBarrier(nranks) if nranks > 1 else None
+        self._epoch = 0.0
+
+    # ------------------------------------------------------------------
+    def _ctx(self) -> RankContext:
+        ctx = current_rank()
+        if ctx is None or ctx.comm is not self:
+            raise RuntimeError(
+                "communicator used outside a rank context of this cluster")
+        return ctx
+
+    def close(self) -> None:
+        for mb in self.mailboxes:
+            mb.close()
+        if self._barrier is not None:
+            self._barrier.abort()
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """LogGP-style cost: the sender's link serialises egress.
+
+        The sender is charged latency + transfer (its NIC is busy for the
+        whole message), so a root scattering P-1 partitions pays for them
+        back-to-back — the behaviour behind the paper's Figure 5 comment
+        that restart data "must be scattered across processors".
+        """
+        ctx = self._ctx()
+        if not (0 <= dest < self.nranks):
+            raise ValueError(f"bad destination rank {dest}")
+        if dest == ctx.rank:
+            raise ValueError("self-send would deadlock a blocking pair")
+        nbytes = nbytes_of(obj)
+        cost = self.machine.p2p_cost(nbytes, ctx.rank, dest)
+        ctx.clock.charge_comm(cost)
+        self.mailboxes[dest].put(Message(
+            src=ctx.rank, dst=dest, tag=tag,
+            payload=_copy_payload(obj), nbytes=nbytes,
+            arrival=ctx.clock.now))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Receive; the receiver's link serialises ingress.
+
+        After waiting for the arrival stamp the receiver is charged the
+        transfer time again on its own link, so a root gathering P-1
+        contributions drains them sequentially — the behaviour behind the
+        Figure 4 comment that distributed saves cost more "since the data
+        must be collected at the root node".
+        """
+        ctx = self._ctx()
+        msg = self.mailboxes[ctx.rank].get(source=source, tag=tag)
+        ctx.clock.wait_comm(msg.arrival)
+        same = self.machine.same_node(msg.src, ctx.rank)
+        ctx.clock.charge_comm(
+            self.machine.network.p2p_cost(msg.nbytes, same)
+            - (self.machine.network.intra_latency if same
+               else self.machine.network.inter_latency))
+        return msg.payload
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 tag: int = 0) -> Any:
+        """Paired exchange that cannot deadlock (send is asynchronous)."""
+        self.send(obj, dest, tag)
+        return self.recv(source=source, tag=tag)
+
+    # ------------------------------------------------------------------
+    # collectives (SPMD: every rank must call in the same order)
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        ctx = self._ctx()
+        if self.nranks == 1:
+            return
+        assert self._barrier is not None
+
+        def _sync() -> None:
+            self._epoch = VClock.sync_max(
+                self.clocks, extra=self.machine.barrier_cost(self.nranks))
+
+        self._barrier.wait(action_override=_sync)
+        ctx.clock.advance_to(self._epoch)
+        ctx.clock.charge_comm(self.machine.oversub_epoch_cost(self.nranks))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        ctx = self._ctx()
+        if self.nranks == 1:
+            return obj
+        if ctx.rank == root:
+            for r in range(self.nranks):
+                if r != root:
+                    self.send(obj, r, TAG_COLL + 1)
+            return obj
+        return self.recv(source=root, tag=TAG_COLL + 1)
+
+    def scatter(self, parts: Sequence[Any] | None, root: int = 0) -> Any:
+        ctx = self._ctx()
+        if ctx.rank == root:
+            if parts is None or len(parts) != self.nranks:
+                raise ValueError(
+                    f"root must supply exactly {self.nranks} parts")
+            mine = parts[root]
+            for r in range(self.nranks):
+                if r != root:
+                    self.send(parts[r], r, TAG_COLL + 2)
+            return _copy_payload(mine)
+        return self.recv(source=root, tag=TAG_COLL + 2)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        ctx = self._ctx()
+        if ctx.rank == root:
+            out: list[Any] = [None] * self.nranks
+            out[root] = _copy_payload(obj)
+            # source-specific receives: with per-(src, tag) FIFO this pins
+            # each contribution to the right collective even when a fast
+            # rank has already sent into the *next* collective.
+            for src in range(self.nranks):
+                if src == root:
+                    continue
+                msg = self.mailboxes[ctx.rank].get(source=src,
+                                                   tag=TAG_COLL + 3)
+                ctx.clock.wait_comm(msg.arrival)
+                out[src] = msg.payload
+            return out
+        self.send(obj, root, TAG_COLL + 3)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        got = self.gather(obj, root=0)
+        return self.bcast(got, root=0)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None,
+               root: int = 0) -> Any | None:
+        """Fold ``op`` (default: +, elementwise for arrays) at ``root``."""
+        ctx = self._ctx()
+        vals = self.gather(obj, root=root)
+        if ctx.rank != root:
+            return None
+        assert vals is not None
+        fold = op if op is not None else _default_add
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = fold(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any,
+                  op: Callable[[Any, Any], Any] | None = None) -> Any:
+        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
+
+    def alltoall(self, parts: Sequence[Any]) -> list[Any]:
+        ctx = self._ctx()
+        if len(parts) != self.nranks:
+            raise ValueError(f"need exactly {self.nranks} parts")
+        out: list[Any] = [None] * self.nranks
+        out[ctx.rank] = _copy_payload(parts[ctx.rank])
+        for r in range(self.nranks):
+            if r != ctx.rank:
+                self.send(parts[r], r, TAG_COLL + 4)
+        for src in range(self.nranks):
+            if src == ctx.rank:
+                continue
+            msg = self.mailboxes[ctx.rank].get(source=src, tag=TAG_COLL + 4)
+            ctx.clock.wait_comm(msg.arrival)
+            out[src] = msg.payload
+        return out
+
+
+def _default_add(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray):
+        return a + b
+    return a + b

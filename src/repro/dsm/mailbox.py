@@ -1,0 +1,89 @@
+"""Per-rank mailboxes with (source, tag) matching.
+
+The simulated cluster's transport: a :class:`Mailbox` per rank, into which
+senders deposit :class:`Message` envelopes.  ``get`` blocks until a message
+matching ``(source, tag)`` is available (either may be a wildcard).
+
+Envelopes carry the *virtual arrival time* computed by the sender from the
+network model, so the receiver can couple its clock to the sender's.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MailboxClosed(RuntimeError):
+    """Raised to blocked receivers when the cluster shuts down."""
+
+
+@dataclass
+class Message:
+    """One in-flight message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float  # virtual time at which the payload is available
+
+
+class Mailbox:
+    """Unbounded, thread-safe mailbox with selective receive."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._cond = threading.Condition()
+        self._queue: list[Message] = []
+        self._closed = False
+
+    def put(self, msg: Message) -> None:
+        with self._cond:
+            if self._closed:
+                raise MailboxClosed(f"mailbox {self.rank} is closed")
+            self._queue.append(msg)
+            self._cond.notify_all()
+
+    def get(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+            timeout: float | None = 60.0) -> Message:
+        """Block until a matching message is available and remove it.
+
+        Matching preserves per-(source, tag) FIFO order, which is all the
+        collectives and the aggregate protocol rely on.
+        """
+        with self._cond:
+            while True:
+                for i, m in enumerate(self._queue):
+                    if ((source == ANY_SOURCE or m.src == source)
+                            and (tag == ANY_TAG or m.tag == tag)):
+                        return self._queue.pop(i)
+                if self._closed:
+                    raise MailboxClosed(f"mailbox {self.rank} is closed")
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"rank {self.rank}: no message from src={source} "
+                        f"tag={tag} after {timeout}s "
+                        f"(queued: {[(m.src, m.tag) for m in self._queue]})")
+
+    def poll(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking probe for a matching message."""
+        with self._cond:
+            return any(
+                (source == ANY_SOURCE or m.src == source)
+                and (tag == ANY_TAG or m.tag == tag)
+                for m in self._queue)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._queue)

@@ -1,0 +1,26 @@
+"""Grid resource volatility substrate.
+
+The paper's premise (Section I): "In Grid systems resources committed to
+the application can change during application execution ... resource
+failure, requests to release allocated resources ... availability of new
+resources."  It explicitly delegates *deciding* the right resource set to
+external tools and contributes the *mechanism* that reshapes the
+application.
+
+This package is the synthetic stand-in for those externals: resource
+traces (when does the allocation change / fail), the mapping policy that
+turns "k processing elements" into an execution configuration (the rule
+behind the paper's Figure 9 adaptive line), and the
+:class:`ResourceManager` that compiles a trace into an
+:class:`~repro.core.AdaptationPlan` plus a failure injector.
+"""
+
+from repro.grid.manager import MappingPolicy, ResourceManager
+from repro.grid.resources import ResourceEvent, ResourceTrace
+
+__all__ = [
+    "MappingPolicy",
+    "ResourceEvent",
+    "ResourceManager",
+    "ResourceTrace",
+]

@@ -1,0 +1,90 @@
+"""Resource manager: trace -> (initial config, adaptation plan, injector).
+
+:class:`MappingPolicy` encodes the paper's Figure 9 selection rule: one
+processing element runs sequentially, up to a node's worth of cores runs
+the shared-memory parallelisation, anything larger runs distributed (or
+hybrid, when enabled) — "by activating the parallelisation according to
+resources committed to execution".
+
+:class:`ResourceManager` compiles a :class:`ResourceTrace` into the
+runtime's inputs so a volatile-Grid scenario becomes one ``Runtime.run``
+call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckpt.failure import FailureInjector
+from repro.core.adaptation import AdaptationPlan, AdaptStep
+from repro.core.modes import ExecConfig
+from repro.grid.resources import ResourceTrace
+from repro.vtime.machine import MachineModel
+
+
+@dataclass(frozen=True)
+class MappingPolicy:
+    """Map an allocation of k processing elements to an ExecConfig."""
+
+    machine: MachineModel
+    allow_hybrid: bool = False
+
+    def config_for(self, pe: int) -> ExecConfig:
+        if pe < 1:
+            raise ValueError("allocation must be >= 1 PE")
+        cores = self.machine.cores_per_node
+        if pe == 1:
+            return ExecConfig.sequential()
+        if pe <= cores:
+            return ExecConfig.shared(pe)
+        if self.allow_hybrid and pe % cores == 0:
+            return ExecConfig.hybrid(pe // cores, cores)
+        return ExecConfig.distributed(pe)
+
+
+class ResourceManager:
+    """Compile a trace into runtime inputs."""
+
+    def __init__(self, trace: ResourceTrace, machine: MachineModel,
+                 policy: MappingPolicy | None = None,
+                 via_restart: bool = False) -> None:
+        self.trace = trace
+        self.machine = machine
+        self.policy = policy if policy is not None else MappingPolicy(machine)
+        self.via_restart = via_restart
+
+    # ------------------------------------------------------------------
+    def initial_config(self) -> ExecConfig:
+        return self.policy.config_for(self.trace.initial_pe)
+
+    def plan(self) -> AdaptationPlan:
+        """Adaptation steps for every allocation change in the trace."""
+        steps = []
+        pe = self.trace.initial_pe
+        for e in self.trace.changes():
+            if e.available_pe == pe:
+                continue  # no reshaping needed
+            pe = e.available_pe
+            steps.append(AdaptStep(at=e.at_safepoint,
+                                   config=self.policy.config_for(pe),
+                                   via_restart=self.via_restart))
+        return AdaptationPlan(steps)
+
+    def injector(self) -> FailureInjector:
+        """Failure injector armed at the trace's first failure event."""
+        fails = self.trace.failures()
+        if not fails:
+            return FailureInjector()
+        return FailureInjector(fail_at=fails[0].at_safepoint)
+
+    def recover_config(self, restarts: int) -> ExecConfig:
+        """Configuration to restart with after the given failure count.
+
+        Uses the allocation in force at the first (not yet recovered)
+        failure — i.e. the trace tells us what survived the crash.
+        """
+        fails = self.trace.failures()
+        if not fails:
+            return self.initial_config()
+        idx = min(restarts - 1, len(fails) - 1)
+        return self.policy.config_for(self.trace.pe_at(fails[idx].at_safepoint))

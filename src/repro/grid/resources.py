@@ -1,0 +1,112 @@
+"""Resource availability traces.
+
+A trace is an ordered list of :class:`ResourceEvent`, each anchored at a
+safe-point count (the only points the adaptation protocol can act on).
+Three event kinds cover the paper's volatility taxonomy:
+
+* ``change``  — the allocation becomes ``available_pe`` processing
+  elements (expansion or contraction);
+* ``failure`` — a resource crashes; the application must restart from the
+  last checkpoint;
+* ``release`` — a polite contraction request (handled like ``change``
+  but recorded distinctly for reporting).
+
+Synthetic generators provide the deterministic traces the benchmarks use
+and a seeded random walk for stress tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import seeded_rng
+
+KINDS = ("change", "failure", "release")
+
+
+@dataclass(frozen=True)
+class ResourceEvent:
+    at_safepoint: int
+    available_pe: int
+    kind: str = "change"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.at_safepoint < 1:
+            raise ValueError("events anchor at safe points >= 1")
+        if self.available_pe < 1 and self.kind != "failure":
+            raise ValueError("allocation must keep at least one PE")
+
+
+class ResourceTrace:
+    """Ordered resource events over one application run."""
+
+    def __init__(self, events: list[ResourceEvent] | None = None,
+                 initial_pe: int = 1) -> None:
+        if initial_pe < 1:
+            raise ValueError("initial allocation must be >= 1 PE")
+        self.initial_pe = initial_pe
+        self.events = sorted(events or [], key=lambda e: e.at_safepoint)
+
+    # ------------------------------------------------------------------
+    def changes(self) -> list[ResourceEvent]:
+        return [e for e in self.events if e.kind in ("change", "release")]
+
+    def failures(self) -> list[ResourceEvent]:
+        return [e for e in self.events if e.kind == "failure"]
+
+    def pe_at(self, count: int) -> int:
+        """Allocation in force after safe point ``count``."""
+        pe = self.initial_pe
+        for e in self.changes():
+            if e.at_safepoint <= count:
+                pe = e.available_pe
+        return pe
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # synthetic generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def stable(cls, pe: int) -> "ResourceTrace":
+        return cls([], initial_pe=pe)
+
+    @classmethod
+    def expansion(cls, start_pe: int, to_pe: int, at: int) -> "ResourceTrace":
+        """The Figure 6/7 scenario: more resources arrive mid-run."""
+        return cls([ResourceEvent(at, to_pe)], initial_pe=start_pe)
+
+    @classmethod
+    def contraction(cls, start_pe: int, to_pe: int, at: int) -> "ResourceTrace":
+        return cls([ResourceEvent(at, to_pe, kind="release")],
+                   initial_pe=start_pe)
+
+    @classmethod
+    def failure(cls, pe: int, at: int) -> "ResourceTrace":
+        """The Figure 5 scenario: a crash at safe point ``at``."""
+        return cls([ResourceEvent(at, pe, kind="failure")], initial_pe=pe)
+
+    @classmethod
+    def random_walk(cls, seed: int, horizon: int, max_pe: int,
+                    n_events: int, failure_prob: float = 0.1,
+                    initial_pe: int | None = None) -> "ResourceTrace":
+        """Seeded volatility: ``n_events`` changes over ``horizon`` safe
+        points, each a fresh allocation in [1, max_pe], occasionally a
+        failure."""
+        if horizon < 2 or n_events < 0 or max_pe < 1:
+            raise ValueError("bad random-walk parameters")
+        rng = seeded_rng(seed)
+        ats = sorted(rng.choice(range(1, horizon), size=min(n_events,
+                                                            horizon - 1),
+                                replace=False).tolist())
+        events = []
+        for at in ats:
+            if rng.random() < failure_prob:
+                events.append(ResourceEvent(at, 1, kind="failure"))
+            else:
+                events.append(ResourceEvent(at, int(rng.integers(1, max_pe + 1))))
+        start = initial_pe or int(rng.integers(1, max_pe + 1))
+        return cls(events, initial_pe=start)

@@ -1,0 +1,114 @@
+"""A reusable barrier whose party count may change between generations.
+
+``threading.Barrier`` fixes the party count at construction; team
+malleability needs a barrier that can admit newly spawned threads and drop
+retired ones.  ``AdaptiveBarrier`` is generation-based: ``wait()`` blocks
+until the number of arrivals equals the *current* party count; the last
+arriver may run an ``action`` callback (used to couple virtual clocks and
+to apply pending team resizes) before releasing the generation.
+
+``add_party`` / ``remove_party`` may be called either by a thread that is
+*not* currently waiting, or from inside the ``action`` callback (the only
+moments the count can change without racing a release).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class BrokenTeamBarrier(RuntimeError):
+    """Raised to waiters when the barrier is aborted (failure injection)."""
+
+
+class AdaptiveBarrier:
+    def __init__(self, parties: int, action: Callable[[], None] | None = None):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self._cond = threading.Condition()
+        self._parties = parties
+        self._count = 0
+        self._generation = 0
+        self._broken = False
+        self._action = action
+
+    # ------------------------------------------------------------------
+    @property
+    def parties(self) -> int:
+        with self._cond:
+            return self._parties
+
+    def add_party(self, n: int = 1) -> None:
+        with self._cond:
+            self._parties += n
+            # A pending generation may now be complete (e.g. everyone was
+            # waiting when a newcomer registered and immediately waits too
+            # -- the newcomer's own wait() will close the generation).
+
+    def remove_party(self, n: int = 1) -> None:
+        with self._cond:
+            if self._parties - n < 1:
+                raise ValueError("cannot shrink barrier below one party")
+            self._parties -= n
+            if self._count >= self._parties:
+                self._release_locked()
+
+    def abort(self) -> None:
+        """Break the barrier; current and future waiters raise."""
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    def reset(self) -> None:
+        with self._cond:
+            self._broken = False
+            self._count = 0
+            self._generation += 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def wait(self, action_override: Callable[[], None] | None = None,
+             timeout: float | None = 60.0) -> int:
+        """Block until the current generation completes.
+
+        Returns the arrival index (0 = first arriver).  The *last* arriver
+        runs ``action_override`` or the constructor ``action`` while every
+        other party is parked, then releases the generation.
+        """
+        with self._cond:
+            if self._broken:
+                raise BrokenTeamBarrier("barrier is broken")
+            gen = self._generation
+            index = self._count
+            self._count += 1
+            if self._count >= self._parties:
+                act = action_override or self._action
+                if act is not None:
+                    try:
+                        act()
+                    except BaseException:
+                        self._broken = True
+                        self._cond.notify_all()
+                        raise
+                # The action may have *grown* the party count (replayer
+                # spawn): in that case the generation stays open until the
+                # newcomers arrive, and this thread parks like the rest.
+                if self._count >= self._parties:
+                    self._release_locked()
+                    return index
+            while gen == self._generation and not self._broken:
+                if not self._cond.wait(timeout):
+                    self._broken = True
+                    self._cond.notify_all()
+                    raise BrokenTeamBarrier(
+                        f"barrier timeout (gen={gen}, waiting={self._count}/"
+                        f"{self._parties})")
+            if self._broken:
+                raise BrokenTeamBarrier("barrier is broken")
+            return index
+
+    def _release_locked(self) -> None:
+        self._count = 0
+        self._generation += 1
+        self._cond.notify_all()

@@ -1,0 +1,57 @@
+"""Data-sharing arbitration: synchronized / single / master support.
+
+``TeamLocks`` backs the ``SynchronizedMethod`` template: one reentrant lock
+per declared method (or lock name), shared by the whole team.
+
+``SingleArbiter`` backs the ``SingleMethod`` template: for each dynamic
+occurrence of a single-region, exactly one live thread executes it.  An
+occurrence is identified by a monotonically increasing per-thread sequence
+number — every team member executes the same region code, so the Nth
+single-construct encountered by thread A corresponds to the Nth encountered
+by thread B (the OpenMP rule that work-sharing constructs must be
+encountered by all threads in the same order).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class TeamLocks:
+    """Named reentrant locks shared across a team."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._locks: dict[str, threading.RLock] = {}
+
+    def lock(self, name: str) -> threading.RLock:
+        with self._guard:
+            lk = self._locks.get(name)
+            if lk is None:
+                lk = self._locks[name] = threading.RLock()
+            return lk
+
+
+class SingleArbiter:
+    """First-arriver election per single-construct occurrence."""
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._claimed: dict[tuple[str, int], int] = {}
+
+    def claim(self, key: str, occurrence: int, tid: int) -> bool:
+        """Return True iff ``tid`` is the executor for this occurrence."""
+        with self._guard:
+            owner = self._claimed.setdefault((key, occurrence), tid)
+            return owner == tid
+
+    def forget_before(self, occurrence: int) -> None:
+        """Garbage-collect occurrences older than ``occurrence``."""
+        with self._guard:
+            stale = [k for k in self._claimed if k[1] < occurrence]
+            for k in stale:
+                del self._claimed[k]
+
+    def reset(self) -> None:
+        with self._guard:
+            self._claimed.clear()

@@ -1,0 +1,30 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (MonteCarlo workload, failure
+injection, synthetic Grid traces, evolutionary algorithms) takes an explicit
+seed so that tests and benchmarks are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a non-deterministic generator; library code should only
+    pass ``None`` when the caller explicitly opted out of determinism.
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from a single seed.
+
+    Used by SPMD workloads so that each rank draws from its own stream and
+    the union of the streams is independent of the rank count (the streams
+    are keyed by *logical* index, not by rank).
+    """
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

@@ -1,0 +1,74 @@
+"""Portable serialization helpers used by the checkpoint store.
+
+The paper's central portability requirement (Section I) is that checkpoint
+data must be stored in a machine-independent format so an application can
+migrate across the heterogeneous resources of a Grid.  We satisfy it by
+serialising numpy arrays in their portable ``.npy``-style representation
+(dtype string + shape + C-order bytes) and everything else with pickle
+protocol 4, and by checksumming every section.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import zlib
+from typing import Any
+
+import numpy as np
+
+#: pickle protocol pinned for cross-version portability of checkpoints.
+PICKLE_PROTOCOL = 4
+
+_ARRAY_TAG = b"NPYA"
+_PICKLE_TAG = b"PKL4"
+
+
+def dumps_portable(obj: Any) -> bytes:
+    """Serialise ``obj`` to a tagged, portable byte string.
+
+    numpy arrays are written in native ``.npy`` format (which is explicitly
+    endianness-tagged); all other objects go through pickle.
+    """
+    if isinstance(obj, np.ndarray):
+        buf = io.BytesIO()
+        np.save(buf, obj, allow_pickle=False)
+        return _ARRAY_TAG + buf.getvalue()
+    return _PICKLE_TAG + pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+
+
+def loads_portable(data: bytes) -> Any:
+    """Inverse of :func:`dumps_portable`."""
+    tag, payload = data[:4], data[4:]
+    if tag == _ARRAY_TAG:
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+    if tag == _PICKLE_TAG:
+        return pickle.loads(payload)
+    raise ValueError(f"unknown serialization tag {tag!r}")
+
+
+def crc32_of(data: bytes) -> int:
+    """CRC32 checksum as an unsigned 32-bit int."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def nbytes_of(obj: Any) -> int:
+    """Approximate wire size of ``obj`` in bytes.
+
+    Used by the network/disk cost models to charge communication time.
+    Arrays are charged their buffer size; other objects the length of their
+    pickled form.  The pickled length is memoised nowhere on purpose: the
+    objects sent through the simulated cluster are small except for arrays.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(x, np.ndarray) for x in obj
+    ):
+        return int(sum(x.nbytes for x in obj))
+    try:
+        return len(pickle.dumps(obj, protocol=PICKLE_PROTOCOL))
+    except Exception:
+        return 256  # opaque object: charge a small fixed size

@@ -1,0 +1,24 @@
+"""Virtual-time substrate.
+
+The paper's evaluation ran on a real two-node, 24-core/node cluster.  This
+reproduction executes every code path for real (partitioning, collectives,
+barriers, snapshots, replay) but models *time* with a virtual clock per
+rank, because CPython's GIL makes single-box wall-clock speedup curves
+meaningless for pure-Python compute.
+
+The model is "measured compute, modelled communication":
+
+* compute chunks are measured with per-thread CPU timers and charged to the
+  executing rank's clock (optionally scaled by core contention when ranks
+  are over-subscribed onto cores — the over-decomposition experiment);
+* message, collective, barrier and disk costs come from an explicit
+  :class:`MachineModel` (latency/bandwidth per link class, barrier alpha/
+  beta, disk latency/bandwidth), so the curves of Figures 3-9 depend only
+  on data volumes and participant counts, which the real execution
+  determines exactly.
+"""
+
+from repro.vtime.clock import VClock
+from repro.vtime.machine import DiskModel, MachineModel, NetworkModel
+
+__all__ = ["DiskModel", "MachineModel", "NetworkModel", "VClock"]

@@ -1,0 +1,122 @@
+"""Tests for the self-adaptation advisor (the paper's future work)."""
+
+import pytest
+
+from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
+from repro.apps.sor import SOR
+from repro.core import ExecConfig, Mode, Runtime, plug
+from repro.core.advisor import SelfAdaptationAdvisor
+from repro.vtime import MachineModel
+
+MACHINE = MachineModel(nodes=2, cores_per_node=4)
+
+
+class TestLadder:
+    def test_ladder_shape(self):
+        adv = SelfAdaptationAdvisor(MachineModel(nodes=2, cores_per_node=4),
+                                    max_pe=16)
+        ladder = adv.ladder
+        assert ladder[0] == ExecConfig.sequential()
+        assert ExecConfig.shared(2) in ladder
+        assert ExecConfig.shared(4) in ladder
+        assert ExecConfig.distributed(8) in ladder
+        assert ExecConfig.distributed(16) in ladder
+        pes = [c.processing_elements for c in ladder]
+        assert pes == sorted(pes)
+
+    def test_ladder_respects_max_pe(self):
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=4)
+        assert all(c.processing_elements <= 4 for c in adv.ladder)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfAdaptationAdvisor(MACHINE, window=1)
+        with pytest.raises(ValueError):
+            SelfAdaptationAdvisor(MACHINE, tolerance=1.5)
+
+
+class TestDecisionLogic:
+    def _feed(self, adv, config, start_count, per_iter, start_vtime=0.0):
+        """Feed `window+1` safe points at a synthetic per-iteration rate."""
+        out = None
+        for i in range(adv.window + 1):
+            count = start_count + i
+            vtime = start_vtime + i * per_iter
+            out = adv.on_safepoint(count, vtime, config)
+            if out is not None:
+                return out, count, vtime
+        return out, count, vtime
+
+    def test_climbs_while_improving(self):
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=4, window=3)
+        step, count, vtime = self._feed(adv, ExecConfig.sequential(), 1, 1.0)
+        assert step == ExecConfig.shared(2)
+
+    def test_settles_when_no_improvement(self):
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=4, window=3)
+        step, count, vtime = self._feed(adv, ExecConfig.sequential(), 1, 1.0)
+        # the "2 threads" trial turns out no faster:
+        step2, count2, vtime2 = self._feed(adv, step, count + 1, 1.0,
+                                           start_vtime=vtime)
+        assert adv.settled
+        # settled back to the best measured configuration (sequential)
+        assert step2 == ExecConfig.sequential()
+
+    def test_keeps_better_config_and_continues(self):
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=4, window=3)
+        s1, c1, v1 = self._feed(adv, ExecConfig.sequential(), 1, 1.0)
+        s2, c2, v2 = self._feed(adv, s1, c1 + 1, 0.5, start_vtime=v1)
+        assert s2 == ExecConfig.shared(4)  # kept climbing
+
+    def test_dormant_in_distributed(self):
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=8, window=2)
+        assert adv.on_safepoint(1, 0.0, ExecConfig.distributed(8)) is None
+        assert adv.on_safepoint(2, 1.0, ExecConfig.distributed(8)) is None
+
+    def test_best_tracks_measurements(self):
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=4, window=2)
+        adv.measured[ExecConfig.sequential()] = 1.0
+        adv.measured[ExecConfig.shared(2)] = 0.4
+        assert adv.best() == ExecConfig.shared(2)
+
+
+class TestEndToEnd:
+    def test_advisor_accelerates_sor(self, tmp_path):
+        """Starting sequentially, the advisor finds a parallel config and
+        the result stays correct."""
+        ref = SOR(n=400, iterations=40).execute()
+        W = plug(SOR, SOR_ADAPTIVE)
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=8, window=4)
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "c")
+        res = rt.run(W, ctor_kwargs={"n": 400, "iterations": 40},
+                     entry="execute", config=ExecConfig.sequential(),
+                     advisor=adv, fresh=True)
+        assert res.value == ref
+        assert res.adaptations, "advisor never reshaped the run"
+        assert res.final_config.processing_elements > 1
+        # and it reached its decisions from measurements
+        assert len(adv.measured) >= 2
+
+    def test_advisor_survives_into_distributed(self, tmp_path):
+        """If the ladder leads into distributed execution the run
+        completes there (advisor dormant across ranks)."""
+        ref = SOR(n=400, iterations=60).execute()
+        W = plug(SOR, SOR_ADAPTIVE)
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=8, window=3,
+                                    tolerance=0.0)
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "c")
+        res = rt.run(W, ctor_kwargs={"n": 400, "iterations": 60},
+                     entry="execute", config=ExecConfig.sequential(),
+                     advisor=adv, fresh=True)
+        assert res.value == ref
+
+    def test_advisor_decisions_recorded(self, tmp_path):
+        W = plug(SOR, SOR_ADAPTIVE)
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=4, window=4)
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "c")
+        rt.run(W, ctor_kwargs={"n": 60, "iterations": 40},
+               entry="execute", config=ExecConfig.sequential(),
+               advisor=adv, fresh=True)
+        for count, cfg in adv.decisions:
+            assert count >= 1
+            assert cfg.processing_elements >= 1

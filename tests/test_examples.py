@@ -1,0 +1,28 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are the library's living documentation; each asserts its own
+correctness internally (result == sequential reference), so a zero exit
+code is a meaningful check, not just an import test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    proc = subprocess.run([sys.executable, str(script)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}")
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "sor_adaptive", "checkpoint_restart",
+            "grid_volatility", "evolutionary"} <= names

@@ -1,0 +1,304 @@
+"""End-to-end tests: SOR woven with the paper's plug modules.
+
+These are the load-bearing reproduction invariants from DESIGN.md §6:
+mode equivalence (bit-identical results in every execution mode), replay
+equivalence (crash + restart == uninterrupted run), mode-independent
+checkpoints, and adaptation correctness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.plugs.sor_plugs import (
+    SOR_ADAPTIVE,
+    SOR_CKPT,
+    SOR_DIST,
+    SOR_HYBRID,
+    SOR_SHARED,
+)
+from repro.apps.sor import SOR
+from repro.ckpt import AtCounts, EveryN, FailureInjector, InjectedFailure
+from repro.core import (
+    AdaptStep,
+    AdaptationPlan,
+    ExecConfig,
+    Runtime,
+    plug,
+)
+from repro.vtime import MachineModel
+
+MACHINE = MachineModel(nodes=2, cores_per_node=4)
+N, ITERS = 40, 12
+
+
+def reference_checksum(n=N, iters=ITERS):
+    app = SOR(n=n, iterations=iters)
+    return app.execute()
+
+
+REF = reference_checksum()
+
+
+def make_runtime(tmp_path, **kw):
+    kw.setdefault("machine", MACHINE)
+    return Runtime(ckpt_dir=tmp_path / "ckpt", **kw)
+
+
+class TestSequentialBase:
+    def test_plain_class_is_deterministic(self):
+        assert reference_checksum() == REF
+
+    def test_iterations_progress(self):
+        app = SOR(n=10, iterations=3)
+        app.execute()
+        assert app.iterations_done == 3
+
+    def test_validation_bounds(self):
+        with pytest.raises(ValueError):
+            SOR(n=2)
+
+
+class TestModeEquivalence:
+    """One code base, four modes, identical results (bit-for-bit)."""
+
+    def test_sequential_mode(self, tmp_path):
+        W = plug(SOR, SOR_CKPT)
+        res = make_runtime(tmp_path).run(
+            W, ctor_kwargs={"n": N, "iterations": ITERS}, entry="execute",
+            config=ExecConfig.sequential(), fresh=True)
+        assert res.value == REF
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5])
+    def test_shared_mode(self, tmp_path, workers):
+        W = plug(SOR, SOR_SHARED + SOR_CKPT)
+        res = make_runtime(tmp_path).run(
+            W, ctor_kwargs={"n": N, "iterations": ITERS}, entry="execute",
+            config=ExecConfig.shared(workers), fresh=True)
+        assert res.value == REF
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 7])
+    def test_distributed_mode(self, tmp_path, nranks):
+        W = plug(SOR, SOR_DIST + SOR_CKPT)
+        res = make_runtime(tmp_path).run(
+            W, ctor_kwargs={"n": N, "iterations": ITERS}, entry="execute",
+            config=ExecConfig.distributed(nranks), fresh=True)
+        assert res.value == REF
+
+    @pytest.mark.parametrize("nranks,workers", [(2, 2), (2, 3), (4, 2)])
+    def test_hybrid_mode(self, tmp_path, nranks, workers):
+        W = plug(SOR, SOR_HYBRID + SOR_CKPT)
+        res = make_runtime(tmp_path).run(
+            W, ctor_kwargs={"n": N, "iterations": ITERS}, entry="execute",
+            config=ExecConfig.hybrid(nranks, workers), fresh=True)
+        assert res.value == REF
+
+    def test_adaptive_weave_runs_everywhere(self, tmp_path):
+        """A single woven class (SOR_ADAPTIVE) handles every mode."""
+        W = plug(SOR, SOR_ADAPTIVE)
+        for config in (ExecConfig.sequential(), ExecConfig.shared(3),
+                       ExecConfig.distributed(3), ExecConfig.hybrid(2, 2)):
+            res = make_runtime(tmp_path).run(
+                W, ctor_kwargs={"n": N, "iterations": ITERS},
+                entry="execute", config=config, fresh=True)
+            assert res.value == REF, f"mismatch in {config}"
+
+
+class TestCheckpointRestart:
+    """Replay equivalence: crash + replay-restart == uninterrupted run."""
+
+    @pytest.mark.parametrize("config", [
+        ExecConfig.sequential(),
+        ExecConfig.shared(3),
+        ExecConfig.distributed(3),
+    ], ids=["seq", "shared", "dist"])
+    def test_crash_and_restart(self, tmp_path, config):
+        plugset = {
+            "sequential": SOR_CKPT,
+            "shared": SOR_SHARED + SOR_CKPT,
+            "distributed": SOR_DIST + SOR_CKPT,
+        }[config.mode.value]
+        W = plug(SOR, plugset)
+        rt = make_runtime(tmp_path, policy=EveryN(4))
+        kw = dict(ctor_kwargs={"n": N, "iterations": ITERS},
+                  entry="execute", config=config)
+
+        with pytest.raises(InjectedFailure):
+            rt.run(W, injector=FailureInjector(fail_at=9), fresh=True, **kw)
+        # ledger says "running" -> pcr engages replay from checkpoint at 8
+        assert rt.ledger.previous_run_failed()
+        assert rt.store.read_latest().safepoint_count == 8
+
+        res = rt.run(W, **kw)
+        assert res.value == REF
+        assert not rt.ledger.previous_run_failed()
+
+    def test_restore_event_emitted_once(self, tmp_path):
+        W = plug(SOR, SOR_CKPT)
+        rt = make_runtime(tmp_path, policy=EveryN(5))
+        kw = dict(ctor_kwargs={"n": N, "iterations": ITERS},
+                  entry="execute", config=ExecConfig.sequential())
+        with pytest.raises(InjectedFailure):
+            rt.run(W, injector=FailureInjector(fail_at=7), fresh=True, **kw)
+        res = rt.run(W, **kw)
+        restores = res.events.of_kind("restore")
+        assert len(restores) == 1
+        assert restores[0].data["count"] == 5
+
+    def test_auto_recover(self, tmp_path):
+        W = plug(SOR, SOR_CKPT)
+        rt = make_runtime(tmp_path, policy=EveryN(4))
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.sequential(),
+                     injector=FailureInjector(fail_at=10),
+                     auto_recover=True, fresh=True)
+        assert res.value == REF
+        assert res.restarts == 1
+        assert [p.outcome for p in res.phases] == ["failed", "completed"]
+
+    def test_failure_without_checkpoint_recomputes(self, tmp_path):
+        W = plug(SOR, SOR_CKPT)
+        rt = make_runtime(tmp_path)  # Never policy: no checkpoints
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.sequential(),
+                     injector=FailureInjector(fail_at=6),
+                     auto_recover=True, fresh=True)
+        assert res.value == REF
+
+    def test_mode_independent_checkpoint(self, tmp_path):
+        """Checkpoint under DISTRIBUTED, restart in every other mode."""
+        W = plug(SOR, SOR_ADAPTIVE)
+        kw = dict(ctor_kwargs={"n": N, "iterations": ITERS}, entry="execute")
+        for restart_config in (ExecConfig.sequential(), ExecConfig.shared(2),
+                               ExecConfig.distributed(2),
+                               ExecConfig.hybrid(2, 2)):
+            rt = make_runtime(tmp_path, policy=AtCounts([6]))
+            with pytest.raises(InjectedFailure):
+                rt.run(W, config=ExecConfig.distributed(4),
+                       injector=FailureInjector(fail_at=8), fresh=True, **kw)
+            snap = rt.store.read_latest()
+            assert snap.safepoint_count == 6
+            assert snap.mode == "distributed"
+            res = rt.run(W, config=restart_config, **kw)
+            assert res.value == REF, f"restart in {restart_config} diverged"
+
+    def test_checkpoint_captures_consistent_iteration(self, tmp_path):
+        W = plug(SOR, SOR_CKPT)
+        rt = make_runtime(tmp_path, policy=AtCounts([7]))
+        rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS}, entry="execute",
+               config=ExecConfig.sequential(), fresh=True)
+        snap = rt.store.read_latest()
+        assert snap.fields["iterations_done"] == 7
+        # the checkpointed grid equals an uninterrupted 7-iteration run
+        ref7 = SOR(n=N, iterations=7)
+        ref7.execute()
+        np.testing.assert_array_equal(snap.fields["G"], ref7.G)
+
+
+class TestAdaptation:
+    def test_live_team_resize(self, tmp_path):
+        """Fig. 7's run-time path: grow the team mid-region, same result."""
+        W = plug(SOR, SOR_SHARED + SOR_CKPT)
+        plan = AdaptationPlan([AdaptStep(at=5, config=ExecConfig.shared(4))])
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.shared(2),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        grows = res.events.of_kind("team_grow")
+        assert len(grows) == 1 and grows[0].data["size"] == 4
+
+    def test_live_team_shrink(self, tmp_path):
+        W = plug(SOR, SOR_SHARED + SOR_CKPT)
+        plan = AdaptationPlan([AdaptStep(at=4, config=ExecConfig.shared(1))])
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.shared(4),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        assert res.events.of_kind("team_shrink")
+
+    def test_seq_to_distributed_live(self, tmp_path):
+        """Expansion: sequential -> cluster via the run-time protocol."""
+        W = plug(SOR, SOR_ADAPTIVE)
+        plan = AdaptationPlan(
+            [AdaptStep(at=6, config=ExecConfig.distributed(4))])
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.sequential(),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        assert res.adapted
+        assert res.adaptations[0].to_config == ExecConfig.distributed(4)
+        assert [p.outcome for p in res.phases] == ["adapted", "completed"]
+
+    def test_distributed_to_seq_contraction(self, tmp_path):
+        W = plug(SOR, SOR_ADAPTIVE)
+        plan = AdaptationPlan(
+            [AdaptStep(at=6, config=ExecConfig.sequential())])
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.distributed(4),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        assert res.final_config == ExecConfig.sequential()
+
+    def test_rank_count_change(self, tmp_path):
+        """Fig. 6 shape: 2 ranks -> more ranks mid-run."""
+        W = plug(SOR, SOR_ADAPTIVE)
+        plan = AdaptationPlan(
+            [AdaptStep(at=5, config=ExecConfig.distributed(6))])
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.distributed(2),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+
+    def test_restart_based_adaptation(self, tmp_path):
+        """Fig. 7's restart path: through the checkpoint file on disk."""
+        W = plug(SOR, SOR_ADAPTIVE)
+        plan = AdaptationPlan(
+            [AdaptStep(at=6, config=ExecConfig.shared(4), via_restart=True)])
+        rt = make_runtime(tmp_path, policy=AtCounts([6]))
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.shared(2),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        assert res.adaptations[0].via_restart
+
+    def test_multi_step_adaptation(self, tmp_path):
+        """seq -> shared -> distributed -> shared, result intact."""
+        W = plug(SOR, SOR_ADAPTIVE)
+        plan = AdaptationPlan([
+            AdaptStep(at=3, config=ExecConfig.shared(3)),
+            AdaptStep(at=6, config=ExecConfig.distributed(3)),
+            AdaptStep(at=9, config=ExecConfig.shared(2)),
+        ])
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.sequential(),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        assert len(res.adaptations) >= 2
+
+    def test_async_request_in_shared_mode(self, tmp_path):
+        """External (unplanned) request picked up at the next safe point."""
+        W = plug(SOR, SOR_ADAPTIVE)
+        plan = AdaptationPlan()
+        plan.request(ExecConfig.distributed(3))
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.sequential(),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        assert res.adaptations and res.adaptations[0].at_count == 1
+
+    def test_adaptation_vtime_monotone(self, tmp_path):
+        W = plug(SOR, SOR_ADAPTIVE)
+        plan = AdaptationPlan(
+            [AdaptStep(at=5, config=ExecConfig.distributed(4))])
+        rt = make_runtime(tmp_path)
+        res = rt.run(W, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.sequential(),
+                     plan=plan, fresh=True)
+        assert res.phases[0].end_vtime <= res.phases[1].start_vtime
+        assert res.vtime >= res.phases[1].start_vtime

@@ -1,0 +1,82 @@
+"""Property-based tests of the adaptation protocol (DESIGN.md §6).
+
+The paper's central correctness claim is implicit: reshaping the
+parallelism structure at safe points must never change what the program
+computes.  Hypothesis generates arbitrary adaptation schedules — mixes of
+sequential / shared / distributed targets at arbitrary safe points — and
+every schedule must leave SOR's result bit-identical to the fixed-mode
+reference.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
+from repro.apps.sor import SOR
+from repro.ckpt import AtCounts, EveryN, FailureInjector, InjectedFailure
+from repro.core import AdaptStep, AdaptationPlan, ExecConfig, Runtime, plug
+from repro.vtime import MachineModel
+
+MACHINE = MachineModel(nodes=2, cores_per_node=4)
+N, ITERS = 36, 12
+REF = SOR(n=N, iterations=ITERS).execute()
+WOVEN = plug(SOR, SOR_ADAPTIVE)
+
+CONFIGS = st.sampled_from([
+    ExecConfig.sequential(),
+    ExecConfig.shared(2),
+    ExecConfig.shared(3),
+    ExecConfig.distributed(2),
+    ExecConfig.distributed(4),
+])
+
+SLOW = settings(deadline=None, max_examples=12,
+                suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+@SLOW
+@given(start=CONFIGS,
+       steps=st.lists(
+           st.tuples(st.integers(min_value=2, max_value=ITERS - 1), CONFIGS),
+           min_size=0, max_size=3, unique_by=lambda t: t[0]))
+def test_any_adaptation_schedule_preserves_result(tmp_path, start, steps):
+    plan = AdaptationPlan([AdaptStep(at, cfg) for at, cfg in steps])
+    rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "c")
+    res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                 entry="execute", config=start, plan=plan, fresh=True)
+    assert res.value == REF
+
+
+@SLOW
+@given(start=CONFIGS,
+       fail_at=st.integers(min_value=2, max_value=ITERS),
+       every=st.integers(min_value=1, max_value=5))
+def test_any_crash_point_recovers(tmp_path, start, fail_at, every):
+    """Failure at any safe point + any checkpoint cadence -> same result."""
+    rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "c",
+                 policy=EveryN(every))
+    res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                 entry="execute", config=start,
+                 injector=FailureInjector(fail_at=fail_at),
+                 auto_recover=True, fresh=True)
+    assert res.value == REF
+    assert res.restarts == 1
+
+
+@SLOW
+@given(ckpt_at=st.integers(min_value=1, max_value=ITERS - 1),
+       write_cfg=CONFIGS, read_cfg=CONFIGS)
+def test_checkpoint_mode_independence(tmp_path, ckpt_at, write_cfg, read_cfg):
+    """A checkpoint written under any mode restarts under any other."""
+    rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "c",
+                 policy=AtCounts([ckpt_at]))
+    kw = dict(ctor_kwargs={"n": N, "iterations": ITERS}, entry="execute")
+    try:
+        rt.run(WOVEN, config=write_cfg,
+               injector=FailureInjector(fail_at=ckpt_at + 1), fresh=True,
+               **kw)
+    except InjectedFailure:
+        pass
+    assert rt.store.read_latest().safepoint_count == ckpt_at
+    res = rt.run(WOVEN, config=read_cfg, **kw)
+    assert res.value == REF

@@ -1,0 +1,533 @@
+"""Tests for the shared-memory substrate: barrier, schedulers, team."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smp import (
+    AdaptiveBarrier,
+    Schedule,
+    ThreadTeam,
+    current_worker,
+    static_slice,
+)
+from repro.smp.barrier import BrokenTeamBarrier
+from repro.smp.sched import SharedLoop
+from repro.smp.team import CallbackOp, TeamError
+from repro.vtime import MachineModel
+
+MACHINE = MachineModel(nodes=2, cores_per_node=8)
+
+
+# ---------------------------------------------------------------------------
+# AdaptiveBarrier
+# ---------------------------------------------------------------------------
+class TestAdaptiveBarrier:
+    def test_single_party_never_blocks(self):
+        b = AdaptiveBarrier(1)
+        assert b.wait() == 0
+
+    def test_n_parties_rendezvous(self):
+        b = AdaptiveBarrier(4)
+        hits = []
+
+        def go(i):
+            b.wait()
+            hits.append(i)
+
+        ts = [threading.Thread(target=go, args=(i,)) for i in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(5)
+        assert sorted(hits) == [0, 1, 2, 3]
+
+    def test_action_runs_once_while_parked(self):
+        b = AdaptiveBarrier(3)
+        ran = []
+
+        def go():
+            b.wait(action_override=lambda: ran.append(1))
+
+        ts = [threading.Thread(target=go) for _ in range(3)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(5)
+        assert ran == [1]
+
+    def test_generation_reuse(self):
+        b = AdaptiveBarrier(2)
+        done = []
+
+        def go():
+            for _ in range(10):
+                b.wait()
+            done.append(1)
+
+        ts = [threading.Thread(target=go) for _ in range(2)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(5)
+        assert done == [1, 1]
+
+    def test_grow_inside_action_keeps_generation_open(self):
+        b = AdaptiveBarrier(2)
+        order = []
+
+        def newcomer():
+            order.append("newcomer")
+            b.wait()
+
+        def grow_action():
+            b.add_party()
+            threading.Thread(target=newcomer).start()
+
+        def member(i):
+            b.wait(action_override=grow_action)
+            order.append(f"m{i}")
+
+        ts = [threading.Thread(target=member, args=(i,)) for i in range(2)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(5)
+        assert order[0] == "newcomer"  # members release only after newcomer
+
+    def test_remove_party_releases_waiters(self):
+        b = AdaptiveBarrier(2)
+        released = threading.Event()
+
+        def waiter():
+            b.wait()
+            released.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        b.remove_party()
+        t.join(5)
+        assert released.is_set()
+
+    def test_abort_raises_in_waiters(self):
+        b = AdaptiveBarrier(2)
+        errs = []
+
+        def waiter():
+            try:
+                b.wait()
+            except BrokenTeamBarrier:
+                errs.append(1)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        b.abort()
+        t.join(5)
+        assert errs == [1]
+
+    def test_cannot_shrink_below_one(self):
+        b = AdaptiveBarrier(1)
+        with pytest.raises(ValueError):
+            b.remove_party()
+
+    def test_invalid_parties(self):
+        with pytest.raises(ValueError):
+            AdaptiveBarrier(0)
+
+
+# ---------------------------------------------------------------------------
+# schedulers
+# ---------------------------------------------------------------------------
+class TestStaticSlice:
+    def test_even_split(self):
+        assert static_slice(0, 8, 0, 4) == (0, 2)
+        assert static_slice(0, 8, 3, 4) == (6, 8)
+
+    def test_remainder_goes_to_low_tids(self):
+        sizes = [static_slice(0, 10, t, 4) for t in range(4)]
+        lens = [e - s for s, e in sizes]
+        assert lens == [3, 3, 2, 2]
+
+    def test_tiles_exactly(self):
+        chunks = [static_slice(3, 40, t, 5) for t in range(5)]
+        covered = []
+        for s, e in chunks:
+            covered.extend(range(s, e))
+        assert covered == list(range(3, 40))
+
+    def test_empty_range(self):
+        assert static_slice(5, 5, 0, 3) == (5, 5)
+
+    def test_more_threads_than_iterations(self):
+        chunks = [static_slice(0, 2, t, 4) for t in range(4)]
+        lens = [e - s for s, e in chunks]
+        assert lens == [1, 1, 0, 0]
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(1, 16))
+    def test_partition_property(self, lo, n, threads):
+        hi = lo + n
+        seen = []
+        for t in range(threads):
+            s, e = static_slice(lo, hi, t, threads)
+            assert lo <= s <= e <= hi
+            seen.extend(range(s, e))
+        assert seen == list(range(lo, hi))
+
+
+class TestSharedLoop:
+    def test_dynamic_covers_range(self):
+        loop = SharedLoop(0, 25, Schedule.DYNAMIC, chunk=4, nthreads=3)
+        got = []
+        while (c := loop.grab()) is not None:
+            got.extend(range(*c))
+        assert got == list(range(25))
+
+    def test_guided_chunks_decay(self):
+        loop = SharedLoop(0, 1000, Schedule.GUIDED, chunk=1, nthreads=4)
+        sizes = []
+        while (c := loop.grab()) is not None:
+            sizes.append(c[1] - c[0])
+        assert sum(sizes) == 1000
+        assert sizes[0] > sizes[-1]
+
+    def test_concurrent_grab_no_overlap(self):
+        loop = SharedLoop(0, 500, Schedule.DYNAMIC, chunk=7, nthreads=4)
+        out = [[] for _ in range(4)]
+
+        def work(i):
+            while (c := loop.grab()) is not None:
+                out[i].extend(range(*c))
+
+        ts = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(5)
+        allit = sorted(x for sub in out for x in sub)
+        assert allit == list(range(500))
+
+
+# ---------------------------------------------------------------------------
+# ThreadTeam
+# ---------------------------------------------------------------------------
+class TestTeamBasics:
+    def test_region_runs_on_all_members(self):
+        team = ThreadTeam(MACHINE, size=4)
+        seen = []
+        lock = threading.Lock()
+
+        def region():
+            w = current_worker()
+            with lock:
+                seen.append(w.tid)
+
+        team.run_region(region)
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_master_return_value(self):
+        team = ThreadTeam(MACHINE, size=3)
+
+        def region():
+            return current_worker().tid * 10
+
+        assert team.run_region(region) == 0
+
+    def test_worksharing_partitions_work(self):
+        team = ThreadTeam(MACHINE, size=4)
+        done = []
+        lock = threading.Lock()
+
+        def region():
+            for s, e in team.worksharing(0, 100):
+                with lock:
+                    done.extend(range(s, e))
+
+        team.run_region(region)
+        assert sorted(done) == list(range(100))
+
+    def test_worksharing_sequential_context(self):
+        team = ThreadTeam(MACHINE, size=2)
+        assert list(team.worksharing(0, 10)) == [(0, 10)]
+
+    def test_dynamic_schedule_in_region(self):
+        team = ThreadTeam(MACHINE, size=3)
+        done = []
+        lock = threading.Lock()
+
+        def region():
+            for s, e in team.worksharing(0, 50, Schedule.DYNAMIC, chunk=3):
+                with lock:
+                    done.extend(range(s, e))
+
+        team.run_region(region)
+        assert sorted(done) == list(range(50))
+
+    def test_barrier_synchronises(self):
+        team = ThreadTeam(MACHINE, size=4)
+        phase1 = []
+        phase2 = []
+        lock = threading.Lock()
+
+        def region():
+            with lock:
+                phase1.append(current_worker().tid)
+            team.barrier()
+            with lock:
+                # all of phase1 must be complete before any phase2 entry
+                assert len(phase1) == 4
+                phase2.append(current_worker().tid)
+
+        team.run_region(region)
+        assert len(phase2) == 4
+
+    def test_single_claim_exactly_one(self):
+        team = ThreadTeam(MACHINE, size=4)
+        winners = []
+        lock = threading.Lock()
+
+        def region():
+            if team.single_claim("init"):
+                with lock:
+                    winners.append(current_worker().tid)
+            team.barrier()
+
+        team.run_region(region)
+        assert len(winners) == 1
+
+    def test_is_master_unique(self):
+        team = ThreadTeam(MACHINE, size=4)
+        masters = []
+        lock = threading.Lock()
+
+        def region():
+            if team.is_master():
+                with lock:
+                    masters.append(current_worker().tid)
+
+        team.run_region(region)
+        assert masters == [0]
+
+    def test_nested_region_rejected(self):
+        team = ThreadTeam(MACHINE, size=2)
+
+        def inner():
+            pass
+
+        def region():
+            if team.is_master():
+                with pytest.raises(TeamError):
+                    team.run_region(inner)
+
+        team.run_region(region)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(MACHINE, size=0)
+
+    def test_worker_exception_propagates(self):
+        team = ThreadTeam(MACHINE, size=3)
+
+        def region():
+            if current_worker().tid == 2:
+                raise ValueError("boom")
+            team.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            team.run_region(region)
+
+    def test_clock_advances_across_region(self):
+        team = ThreadTeam(MACHINE, size=4)
+
+        def region():
+            current_worker().clock.charge_compute(0.1)
+
+        before = team.clock.now
+        team.run_region(region)
+        # barrier at end: max of member clocks, so ~0.1 not 0.4
+        assert team.clock.now >= before + 0.1
+        assert team.clock.now < before + 0.2
+
+
+class TestTeamSafepoints:
+    def test_safepoint_action_runs_once_per_passage(self):
+        team = ThreadTeam(MACHINE, size=4)
+        counts = []
+
+        def action(sp, t):
+            counts.append(sp)
+
+        def region():
+            for _ in range(5):
+                team.safepoint(action)
+
+        team.run_region(region)
+        assert counts == [1, 2, 3, 4, 5]
+
+    def test_sequential_safepoint(self):
+        team = ThreadTeam(MACHINE, size=1)
+        hits = []
+        team.safepoint(lambda sp, t: hits.append(sp))
+        assert hits == [-1]
+
+    def test_callback_op_applied_at_safepoint(self):
+        team = ThreadTeam(MACHINE, size=3)
+        fired = []
+
+        def region():
+            for i in range(4):
+                if team.is_master() and i == 1:
+                    team.request(CallbackOp(lambda t: fired.append(1)))
+                team.barrier()
+                team.safepoint()
+
+        team.run_region(region)
+        assert fired == [1]
+
+
+class TestTeamMalleability:
+    def _count_region(self, team, iters, sizes_seen):
+        lock = threading.Lock()
+
+        def region():
+            for _ in range(iters):
+                for s, e in team.worksharing(0, 64):
+                    pass
+                team.safepoint()
+                if team.is_master():
+                    with lock:
+                        sizes_seen.append(team.active_size)
+
+        return region
+
+    def test_shrink_mid_region(self):
+        team = ThreadTeam(MACHINE, size=4)
+        sizes = []
+        work = []
+        lock = threading.Lock()
+
+        def region():
+            for i in range(6):
+                if team.is_master() and i == 2:
+                    team.request_resize(2)
+                got = 0
+                for s, e in team.worksharing(0, 64):
+                    got += e - s
+                with lock:
+                    work.append(got)
+                team.safepoint()
+                if team.is_master():
+                    sizes.append(team.active_size)
+
+        team.run_region(region)
+        assert sizes[0] == 4
+        assert sizes[-1] == 2
+        # every iteration's shares still cover the full range
+        # (6 iterations x 64 iterations each)
+        assert sum(work) == 6 * 64
+
+    def test_grow_mid_region_with_replay(self):
+        team = ThreadTeam(MACHINE, size=2)
+        sizes = []
+        work_per_iter = {}
+        lock = threading.Lock()
+
+        def region():
+            for i in range(8):
+                got = 0
+                for s, e in team.worksharing(0, 60):
+                    got += e - s
+                with lock:
+                    work_per_iter[i] = work_per_iter.get(i, 0) + got
+                if team.is_master() and i == 3:
+                    team.request_resize(4)
+                team.safepoint()
+                if team.is_master():
+                    sizes.append(team.active_size)
+
+        team.run_region(region)
+        assert sizes[0] == 2
+        assert sizes[-1] == 4
+        assert team.present_size == 0  # region torn down
+        # work conserved every iteration despite the resize
+        assert all(v == 60 for v in work_per_iter.values())
+
+    def test_grow_then_shrink(self):
+        team = ThreadTeam(MACHINE, size=1)
+        sizes = []
+
+        def region():
+            for i in range(9):
+                for _ in team.worksharing(0, 8):
+                    pass
+                if team.is_master():
+                    if i == 2:
+                        team.request_resize(3)
+                    elif i == 5:
+                        team.request_resize(1)
+                team.safepoint()
+                if team.is_master():
+                    sizes.append(team.active_size)
+
+        team.run_region(region)
+        assert 3 in sizes
+        assert sizes[-1] == 1
+
+    def test_resize_between_regions(self):
+        team = ThreadTeam(MACHINE, size=2)
+        team.request_resize(5)
+        seen = []
+        lock = threading.Lock()
+
+        def region():
+            with lock:
+                seen.append(current_worker().tid)
+
+        team.run_region(region)
+        assert len(seen) == 5
+
+    def test_next_region_uses_post_shrink_size(self):
+        team = ThreadTeam(MACHINE, size=4)
+
+        def region1():
+            for i in range(3):
+                if team.is_master() and i == 0:
+                    team.request_resize(2)
+                team.safepoint()
+
+        team.run_region(region1)
+        seen = []
+        lock = threading.Lock()
+
+        def region2():
+            with lock:
+                seen.append(current_worker().tid)
+
+        team.run_region(region2)
+        assert len(seen) == 2
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                    max_size=4))
+    def test_arbitrary_resize_schedule_conserves_work(self, targets):
+        """Any schedule of resizes leaves per-iteration work intact."""
+        team = ThreadTeam(MACHINE, size=2)
+        iters = len(targets) + 2
+        work = {}
+        lock = threading.Lock()
+
+        def region():
+            for i in range(iters):
+                got = sum(e - s for s, e in team.worksharing(0, 40))
+                with lock:
+                    work[i] = work.get(i, 0) + got
+                if team.is_master() and i < len(targets):
+                    team.request_resize(targets[i])
+                team.safepoint()
+
+        team.run_region(region)
+        assert all(v == 40 for v in work.values())
