@@ -17,20 +17,42 @@ Implements the paper's Section IV.A machinery:
   after a set of safe points" (every-N, explicit counts, never).
 * :class:`FailureInjector` — synthetic failures at a chosen safe point,
   standing in for the machine crashes the paper's cluster suffered.
+* :class:`IncrementalCheckpointStore` + :class:`AnchorPolicy` — delta
+  checkpointing: only changed fields are written between periodic full
+  anchors, with chain-replay on restore.
+* :class:`AsyncCheckpointWriter` — double-buffered background writer so
+  the safe point pays only an in-memory copy; ``flush()`` is the
+  durability barrier at adaptation/failure boundaries.
 """
 
+from repro.ckpt.delta import IncrementalCheckpointStore
 from repro.ckpt.failure import FailureInjector, InjectedFailure
-from repro.ckpt.policy import AtCounts, CheckpointPolicy, EveryN, Never
+from repro.ckpt.policy import (
+    AlwaysAnchor,
+    AnchorEvery,
+    AnchorPolicy,
+    AtCounts,
+    CheckpointPolicy,
+    EveryN,
+    Never,
+)
 from repro.ckpt.replay import ReplayState, SafePointCounter
 from repro.ckpt.snapshot import Snapshot
 from repro.ckpt.store import CheckpointStore, RunLedger
+from repro.ckpt.writer import AsyncCheckpointWriter, AsyncWriteFailed
 
 __all__ = [
+    "AlwaysAnchor",
+    "AnchorEvery",
+    "AnchorPolicy",
+    "AsyncCheckpointWriter",
+    "AsyncWriteFailed",
     "AtCounts",
     "CheckpointPolicy",
     "CheckpointStore",
     "EveryN",
     "FailureInjector",
+    "IncrementalCheckpointStore",
     "InjectedFailure",
     "Never",
     "ReplayState",

@@ -1,0 +1,195 @@
+"""Incremental (delta) checkpointing: write only what changed.
+
+The paper's Figure 4 cost is the synchronous write of the *whole*
+application state at every checkpoint.  For workloads where much of the
+SafeData is static between safe points (model parameters, topology
+tables, configuration arrays) that is pure waste.
+:class:`IncrementalCheckpointStore` detects unchanged fields by content
+hash (BLAKE2b-128 of the portable field encoding — fast, and with a
+collision probability far below the disk's own undetected-error rate, so
+a changed field can never be silently classified as unchanged) and
+writes a **delta record** containing only the changed sections, chained
+by safe-point count to its base checkpoint.
+
+Chain discipline:
+
+* the first checkpoint, and every ``k``-th thereafter
+  (:class:`~repro.ckpt.policy.AnchorEvery`), is a **full anchor** — it
+  bounds replay length and corruption blast radius;
+* a delta's header names its ``base`` count and the fields it *carries*
+  (unchanged, to be taken from the chain) vs. the fields it stores;
+* :meth:`IncrementalCheckpointStore.read` resolves the chain from the
+  anchor forward, so the result is an ordinary complete
+  :class:`~repro.ckpt.snapshot.Snapshot` — restore, scatter and
+  adaptation code never see deltas;
+* pruning protects every file a surviving checkpoint's chain needs.
+
+Any break in the chain (missing base, checksum failure, cycle) raises
+:class:`~repro.ckpt.snapshot.SnapshotCorrupt`, which ``read_latest``
+already treats as "fall back to the previous checkpoint" — so a corrupt
+anchor degrades recovery by one anchor interval, never to a wrong state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Any
+
+from repro.ckpt.policy import AnchorEvery, AnchorPolicy
+from repro.ckpt.snapshot import (
+    KIND_DELTA,
+    KIND_FULL,
+    Snapshot,
+    SnapshotCorrupt,
+    decode_envelope,
+    decode_section,
+    encode_container,
+)
+from repro.ckpt.store import CheckpointStore
+from repro.util.serialization import loads_portable
+
+#: hard cap on chain length at read time (cycle / runaway-chain guard).
+MAX_CHAIN = 4096
+
+
+def content_hash(blob: bytes) -> bytes:
+    """Change-detection digest of one field's portable encoding."""
+    return hashlib.blake2b(blob, digest_size=16).digest()
+
+
+class IncrementalCheckpointStore(CheckpointStore):
+    """Checkpoint store that writes per-field deltas between anchors."""
+
+    def __init__(self, directory: str | os.PathLike,
+                 anchor: AnchorPolicy | int = 8,
+                 compress_min_bytes: int | None = None) -> None:
+        super().__init__(directory, compress_min_bytes=compress_min_bytes)
+        if isinstance(anchor, int):
+            anchor = AnchorEvery(anchor)
+        self.anchor = anchor
+        # volatile baseline: hashes of the last written checkpoint's
+        # fields.  Lost on process restart, which is safe — the next
+        # write simply degrades to a full anchor.
+        self._base_count: int | None = None
+        self._base_hashes: dict[str, bytes] = {}
+        self._chain_len = 0
+
+    # ------------------------------------------------------------------
+    def reset_baseline(self) -> None:
+        """Forget the delta baseline; the next write is a full anchor."""
+        self._base_count = None
+        self._base_hashes = {}
+        self._chain_len = 0
+
+    def clear(self) -> None:
+        super().clear()
+        self.reset_baseline()
+
+    # ------------------------------------------------------------------
+    def write(self, snap: Snapshot) -> "os.PathLike":
+        blobs = snap.field_blobs()
+        hashes = {name: content_hash(blob) for name, blob in blobs.items()}
+        count = snap.safepoint_count
+
+        delta_ok = (
+            self._base_count is not None
+            # a chain base must strictly precede its delta; re-writing an
+            # already-used count (deterministic re-execution after a
+            # recovery) must start a fresh anchor, never self-reference.
+            and self._base_count < count
+            and not self.anchor.due(self._chain_len)
+            # delta encoding only helps if the field *set* is stable.
+            and set(hashes) == set(self._base_hashes)
+        )
+
+        if delta_ok:
+            changed = {name: blobs[name] for name in blobs
+                       if hashes[name] != self._base_hashes[name]}
+            carried = [name for name in blobs if name not in changed]
+            header = snap.header(KIND_DELTA)
+            header["base"] = self._base_count
+            header["fields"] = list(changed)
+            header["carry"] = carried
+            data = encode_container(header, changed, self.compress_min_bytes)
+            self.last_write_kind = KIND_DELTA
+            self._chain_len += 1
+        else:
+            data = snap.encode(compress_min_bytes=self.compress_min_bytes)
+            self.last_write_kind = KIND_FULL
+            self._chain_len = 0
+
+        self.last_write_nbytes = len(data)
+        self.total_bytes_written += len(data)
+        self._base_count = count
+        self._base_hashes = hashes
+        self._put(self.path_for(count), data)
+        return self.path_for(count)
+
+    # ------------------------------------------------------------------
+    def read(self, count: int) -> Snapshot:
+        """Resolve ``count``'s delta chain into a complete snapshot."""
+        chain: list[tuple[dict, dict]] = []
+        disk_nbytes = 0
+        cur = count
+        while True:
+            if len(chain) > MAX_CHAIN:
+                raise SnapshotCorrupt(
+                    f"delta chain exceeds {MAX_CHAIN} links at count {count}")
+            data = self.path_for(cur).read_bytes()
+            disk_nbytes += len(data)
+            header, sections = decode_envelope(data)
+            chain.append((header, sections))
+            if header.get("kind", KIND_FULL) == KIND_FULL:
+                break
+            base = header.get("base")
+            if not isinstance(base, int) or not base < cur:
+                raise SnapshotCorrupt(
+                    f"delta at count {cur} has invalid base {base!r}")
+            cur = base
+
+        # replay the chain: anchor first, then each delta towards `count`.
+        anchor_header, anchor_sections = chain[-1]
+        fields: dict[str, Any] = {
+            name: loads_portable(decode_section(anchor_sections, name))
+            for name in anchor_header["fields"]}
+        for header, sections in reversed(chain[:-1]):
+            missing = [n for n in header.get("carry", []) if n not in fields]
+            if missing:
+                raise SnapshotCorrupt(
+                    f"delta at count {header['safepoint_count']} carries "
+                    f"fields absent from its chain: {missing}")
+            for name in header["fields"]:
+                fields[name] = loads_portable(decode_section(sections, name))
+
+        top = chain[0][0]
+        snap = Snapshot(app=top["app"],
+                        safepoint_count=top["safepoint_count"],
+                        fields=fields, mode=top["mode"], meta=top["meta"])
+        snap.meta["disk_nbytes"] = disk_nbytes  # whole chain was read
+        return snap
+
+    # ------------------------------------------------------------------
+    def chain_of(self, count: int) -> list[int]:
+        """The counts ``count``'s restore depends on (itself included)."""
+        out = [count]
+        cur = count
+        while len(out) <= MAX_CHAIN:
+            try:
+                header, _ = decode_envelope(self.path_for(cur).read_bytes())
+            except (SnapshotCorrupt, OSError):
+                break
+            if header.get("kind", KIND_FULL) == KIND_FULL:
+                break
+            base = header.get("base")
+            if not isinstance(base, int) or not base < cur:
+                break
+            out.append(base)
+            cur = base
+        return out
+
+    def _protected_counts(self, kept: list[int]) -> set[int]:
+        needed: set[int] = set()
+        for c in kept:
+            needed.update(self.chain_of(c))
+        return needed

@@ -77,3 +77,41 @@ class Never(CheckpointPolicy):
 
     def _due(self, count: int) -> bool:
         return False
+
+
+# ---------------------------------------------------------------------------
+# anchor policies (incremental checkpointing)
+# ---------------------------------------------------------------------------
+class AnchorPolicy(ABC):
+    """Decides which checkpoints in an incremental chain are full anchors.
+
+    An incremental store writes most checkpoints as deltas against the
+    previous one; every so often it must write a *full* snapshot so that
+    (a) restore replays a bounded chain and (b) a corrupt file loses at
+    most one anchor interval.  ``due(chain_len)`` is asked with the number
+    of consecutive deltas since the last anchor and answers whether the
+    next write must be full.
+    """
+
+    @abstractmethod
+    def due(self, chain_len: int) -> bool:
+        """Must the next checkpoint be a full anchor?"""
+
+
+class AnchorEvery(AnchorPolicy):
+    """Full anchor every ``k`` checkpoints (chain length capped at k-1)."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("anchor interval must be >= 1")
+        self.k = k
+
+    def due(self, chain_len: int) -> bool:
+        return chain_len >= self.k - 1
+
+
+class AlwaysAnchor(AnchorEvery):
+    """Every checkpoint is full — disables delta encoding."""
+
+    def __init__(self) -> None:
+        super().__init__(1)

@@ -5,6 +5,17 @@ fields plus the number of executed safe points.  The encoded form is
 deliberately mode-independent (Section IV.A: "the checkpoint data is the
 same in all environments"), which is what lets a run checkpointed under
 MPI-style execution restart as a sequential or threaded run.
+
+Container format (version 2): a pickled envelope ``{header, sections}``
+where each section is ``(flags, stored_blob, crc32)``.  ``flags`` carries
+per-section transforms (today: ``SEC_ZLIB`` for transparent zlib
+compression, negotiated by size threshold at encode time); the CRC is
+over the *stored* bytes so corruption is detected before decompression.
+Version-1 files (sections as ``(blob, crc32)`` pairs, no flags) are still
+readable.  The same envelope shape also carries incremental *delta*
+records (``header["kind"] == "delta"``) — those are produced and resolved
+by :mod:`repro.ckpt.delta`; decoding one directly raises
+:class:`SnapshotCorrupt` because a delta alone is not a restorable state.
 """
 
 from __future__ import annotations
@@ -17,13 +28,62 @@ from repro.util.serialization import (
     dumps_portable,
     loads_portable,
     nbytes_of,
+    pack_section,
+    unpack_section,
 )
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: container kinds: a full restorable state vs. an incremental delta.
+KIND_FULL = "full"
+KIND_DELTA = "delta"
 
 
 class SnapshotCorrupt(RuntimeError):
     """A section failed its checksum or the container is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# container helpers (shared with repro.ckpt.delta)
+# ---------------------------------------------------------------------------
+def encode_container(header: dict, blobs: dict[str, bytes],
+                     compress_min_bytes: int | None = None) -> bytes:
+    """Assemble the on-disk envelope from pre-encoded field blobs."""
+    sections = {}
+    for name, blob in blobs.items():
+        flags, stored = pack_section(blob, compress_min_bytes)
+        sections[name] = (flags, stored, crc32_of(stored))
+    return dumps_portable({"header": header, "sections": sections})
+
+
+def decode_envelope(data: bytes) -> tuple[dict, dict]:
+    """Parse and version-check an envelope; returns ``(header, sections)``."""
+    try:
+        envelope = loads_portable(data)
+        header = envelope["header"]
+        sections = envelope["sections"]
+    except Exception as exc:
+        raise SnapshotCorrupt(f"malformed snapshot container: {exc}") from exc
+    if header.get("version") not in (1, FORMAT_VERSION):
+        raise SnapshotCorrupt(
+            f"unsupported snapshot version {header.get('version')!r}")
+    return header, sections
+
+
+def decode_section(sections: dict, name: str) -> bytes:
+    """Checksum-verify one section and undo its storage transforms."""
+    try:
+        entry = sections[name]
+    except KeyError as exc:
+        raise SnapshotCorrupt(f"missing section {name!r}") from exc
+    if len(entry) == 2:  # version-1 layout: (blob, crc), never compressed
+        blob, crc = entry
+        flags = 0
+    else:
+        flags, blob, crc = entry
+    if crc32_of(blob) != crc:
+        raise SnapshotCorrupt(f"checksum mismatch in field {name!r}")
+    return unpack_section(flags, blob)
 
 
 @dataclass
@@ -67,43 +127,36 @@ class Snapshot:
         return sum(nbytes_of(v) for v in self.fields.values())
 
     # ------------------------------------------------------------------
-    def encode(self) -> bytes:
-        """Serialise to the portable container format.
+    def field_blobs(self) -> dict[str, bytes]:
+        """Portable (uncompressed) encoding of every field."""
+        return {name: dumps_portable(value)
+                for name, value in self.fields.items()}
 
-        Layout: a pickled envelope ``{header, sections}`` where each
-        section is ``(portable_bytes, crc32)``.  Everything inside the
-        sections uses :mod:`repro.util.serialization`'s portable encoding.
-        """
-        sections = {}
-        for name, value in self.fields.items():
-            blob = dumps_portable(value)
-            sections[name] = (blob, crc32_of(blob))
-        header = {
+    def header(self, kind: str = KIND_FULL) -> dict:
+        return {
             "version": FORMAT_VERSION,
+            "kind": kind,
             "app": self.app,
             "safepoint_count": self.safepoint_count,
             "mode": self.mode,
             "meta": self.meta,
             "fields": list(self.fields),
         }
-        return dumps_portable({"header": header, "sections": sections})
+
+    def encode(self, compress_min_bytes: int | None = None) -> bytes:
+        """Serialise to the portable container format (a full record)."""
+        return encode_container(self.header(KIND_FULL), self.field_blobs(),
+                                compress_min_bytes)
 
     @classmethod
     def decode(cls, data: bytes) -> "Snapshot":
-        try:
-            envelope = loads_portable(data)
-            header = envelope["header"]
-            sections = envelope["sections"]
-        except Exception as exc:
-            raise SnapshotCorrupt(f"malformed snapshot container: {exc}") from exc
-        if header.get("version") != FORMAT_VERSION:
+        header, sections = decode_envelope(data)
+        if header.get("kind", KIND_FULL) != KIND_FULL:
             raise SnapshotCorrupt(
-                f"unsupported snapshot version {header.get('version')!r}")
+                "incremental delta record cannot be decoded standalone; "
+                "resolve it through IncrementalCheckpointStore.read")
         fields: dict[str, Any] = {}
         for name in header["fields"]:
-            blob, crc = sections[name]
-            if crc32_of(blob) != crc:
-                raise SnapshotCorrupt(f"checksum mismatch in field {name!r}")
-            fields[name] = loads_portable(blob)
+            fields[name] = loads_portable(decode_section(sections, name))
         return cls(app=header["app"], safepoint_count=header["safepoint_count"],
                    fields=fields, mode=header["mode"], meta=header["meta"])

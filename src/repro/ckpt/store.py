@@ -1,10 +1,21 @@
 """Checkpoint storage and the run-status ledger (the ``pcr`` module).
 
 :class:`CheckpointStore` keeps numbered checkpoint files in a directory,
-written atomically (temp file + rename) so a crash mid-write can never
-leave a half-checkpoint that a restart would trust; corrupt files are
-detected by the snapshot's checksums and skipped in favour of the newest
-intact one.
+written atomically (temp file + fsync + rename + directory fsync) so a
+crash mid-write can never leave a half-checkpoint that a restart would
+trust; corrupt files are detected by the snapshot's checksums and skipped
+in favour of the newest intact one.
+
+The store has two orthogonal extensions:
+
+* **async writes** — :meth:`attach_writer` plugs in an
+  :class:`~repro.ckpt.writer.AsyncCheckpointWriter`; ``write`` then
+  returns after encoding (the in-memory copy) and the fsync+rename runs
+  on the worker thread.  :meth:`flush` is the durability barrier and MUST
+  be called before any read that needs to observe the latest write.
+* **incremental deltas** — see
+  :class:`repro.ckpt.delta.IncrementalCheckpointStore`, a subclass that
+  writes only changed fields between periodic full anchors.
 
 :class:`RunLedger` implements the paper's start-up protocol: "at
 application start-up, the pcr module verifies if the last execution was
@@ -18,10 +29,14 @@ from __future__ import annotations
 import json
 import os
 import re
-import tempfile
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.ckpt.snapshot import Snapshot, SnapshotCorrupt
+from repro.ckpt.snapshot import KIND_FULL, Snapshot, SnapshotCorrupt
+from repro.ckpt.writer import atomic_write_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ckpt.writer import AsyncCheckpointWriter
 
 _CKPT_RE = re.compile(r"^ckpt_(\d{9})\.pcr$")
 
@@ -29,32 +44,62 @@ _CKPT_RE = re.compile(r"^ckpt_(\d{9})\.pcr$")
 class CheckpointStore:
     """Directory of numbered, atomically-written checkpoint files."""
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(self, directory: str | os.PathLike,
+                 compress_min_bytes: int | None = None) -> None:
         self.dir = Path(directory)
         self.dir.mkdir(parents=True, exist_ok=True)
+        #: per-section zlib threshold (None disables compression).
+        self.compress_min_bytes = compress_min_bytes
         #: bytes written by the most recent :meth:`write` (cost accounting).
         self.last_write_nbytes = 0
+        #: kind of the most recent write: "full" or "delta".
+        self.last_write_kind = KIND_FULL
+        #: cumulative bytes handed to the disk across the store's lifetime.
+        self.total_bytes_written = 0
+        #: optional async writer; when set, writes are deferred to it.
+        self.writer: "AsyncCheckpointWriter | None" = None
+
+    # ------------------------------------------------------------------
+    def attach_writer(self, writer: "AsyncCheckpointWriter") -> None:
+        """Route subsequent writes through an asynchronous writer."""
+        self.writer = writer
+
+    @property
+    def is_async(self) -> bool:
+        return self.writer is not None
+
+    def flush(self) -> None:
+        """Durability barrier: no-op for sync stores, drain for async."""
+        if self.writer is not None:
+            self.writer.flush()
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
 
     # ------------------------------------------------------------------
     def path_for(self, count: int) -> Path:
         return self.dir / f"ckpt_{count:09d}.pcr"
 
+    def _put(self, path: Path, data: bytes) -> None:
+        """Persist one encoded image, sync or via the async writer."""
+        if self.writer is not None:
+            self.writer.submit(path, data)
+        else:
+            atomic_write_bytes(path, data)
+
     def write(self, snap: Snapshot) -> Path:
-        """Atomically persist ``snap``; returns the final path."""
-        data = snap.encode()
+        """Persist ``snap``; returns the final path.
+
+        With no writer attached the image is durable on return; with an
+        async writer it is durable only after :meth:`flush`.
+        """
+        data = snap.encode(compress_min_bytes=self.compress_min_bytes)
         self.last_write_nbytes = len(data)
+        self.last_write_kind = KIND_FULL
+        self.total_bytes_written += len(data)
         final = self.path_for(snap.safepoint_count)
-        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, final)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self._put(final, data)
         return final
 
     def counts(self) -> list[int]:
@@ -67,7 +112,12 @@ class CheckpointStore:
         return sorted(out)
 
     def read(self, count: int) -> Snapshot:
-        return Snapshot.decode(self.path_for(count).read_bytes())
+        data = self.path_for(count).read_bytes()
+        snap = Snapshot.decode(data)
+        # actual bytes pulled off the disk (compression makes this differ
+        # from the payload size); the restore cost model charges these.
+        snap.meta["disk_nbytes"] = len(data)
+        return snap
 
     def read_latest(self) -> Snapshot | None:
         """Newest *intact* snapshot, or None.
@@ -82,12 +132,26 @@ class CheckpointStore:
                 continue
         return None
 
+    # ------------------------------------------------------------------
+    def _protected_counts(self, kept: list[int]) -> set[int]:
+        """Counts that must survive a prune (hook for delta chains)."""
+        return set(kept)
+
     def prune(self, keep: int = 1) -> None:
-        """Delete all but the ``keep`` newest checkpoints."""
+        """Delete all but the ``keep`` newest checkpoints.
+
+        Incremental stores additionally keep every file a survivor's
+        delta chain depends on (see :meth:`_protected_counts`).
+        """
         if keep < 0:
             raise ValueError("keep must be >= 0")
+        self.flush()  # never prune around an in-flight write
         counts = self.counts()
-        for c in counts[: max(0, len(counts) - keep)]:
+        kept = counts[max(0, len(counts) - keep):]
+        needed = self._protected_counts(kept)
+        for c in counts:
+            if c in needed:
+                continue
             try:
                 self.path_for(c).unlink()
             except OSError:
@@ -143,7 +207,7 @@ class RunLedger:
             self.path.unlink()
 
     def _write(self, payload: dict) -> None:
-        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
-        with os.fdopen(fd, "w") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, self.path)
+        # fsync before the rename (and the directory after), matching
+        # CheckpointStore: the status file exists precisely to survive
+        # crashes, so it must not itself be tearable by one.
+        atomic_write_bytes(self.path, json.dumps(payload).encode())

@@ -1,0 +1,159 @@
+"""Asynchronous checkpoint writer: fsync+rename off the critical path.
+
+The paper's headline checkpoint cost (Figures 3-4) is dominated by the
+synchronous write of the application data at the safe point.  Following
+the standard double-buffering discipline for overlapping I/O with
+computation, :class:`AsyncCheckpointWriter` lets ``CheckpointStore.write``
+return as soon as the encoded bytes are handed over (an in-memory copy);
+a dedicated worker thread performs the atomic temp-file + fsync + rename
+sequence while the application computes on.
+
+Correctness contract:
+
+* ``submit`` applies backpressure: at most ``depth`` images may be
+  queued behind the one being written, so a checkpoint storm cannot
+  grow memory without bound — the safe point blocks exactly when the
+  queue is full, which is also when the virtual-time cost model
+  (``ExecutionContext._charge_write``) charges a stall.
+* ``flush`` is the durability barrier: it returns only once every
+  submitted checkpoint is fully on disk.  The runtime drains the writer
+  at every adaptation/failure/completion boundary, so recovery never
+  races an in-flight write.
+* a write error is sticky: it re-raises at the next ``submit``/``flush``
+  so a silently-failing disk cannot masquerade as a healthy checkpoint
+  chain.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import tempfile
+import threading
+from pathlib import Path
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically and durably.
+
+    temp file in the same directory -> write -> fsync(file) ->
+    rename over the target -> fsync(directory), so a crash at any point
+    leaves either the old file or the new one, never a torn mix, and the
+    rename itself survives a power cut.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def fsync_dir(directory: Path) -> None:
+    """fsync a directory so a rename inside it is durable."""
+    try:
+        dfd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dfd)
+    except OSError:  # pragma: no cover - directories not fsync-able here
+        pass
+    finally:
+        os.close(dfd)
+
+
+class AsyncWriteFailed(RuntimeError):
+    """A background checkpoint write failed (re-raised at the barrier)."""
+
+
+class AsyncCheckpointWriter:
+    """Bounded-queue background writer with a ``flush()`` barrier."""
+
+    def __init__(self, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("writer depth must be >= 1")
+        self.depth = depth
+        self._q: queue.Queue = queue.Queue(maxsize=depth)
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._error: BaseException | None = None
+        self._closed = False
+        #: total payload bytes handed to the worker (observability).
+        self.bytes_submitted = 0
+        #: total files the worker has durably written.
+        self.writes_completed = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_thread(self) -> None:
+        with self._lock:
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._worker, name="ckpt-writer", daemon=True)
+                self._thread.start()
+
+    def _raise_pending(self) -> None:
+        with self._lock:
+            err, self._error = self._error, None
+        if err is not None:
+            raise AsyncWriteFailed(
+                f"background checkpoint write failed: {err}") from err
+
+    def submit(self, path: Path, data: bytes) -> None:
+        """Hand a finished checkpoint image to the worker.
+
+        Returns once the bytes are enqueued (the in-memory copy already
+        happened at encode time); blocks only when ``depth`` images are
+        already queued behind the one in flight.
+        """
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        self._raise_pending()
+        self._ensure_thread()
+        self.bytes_submitted += len(data)
+        self._q.put((Path(path), data))
+
+    def flush(self) -> None:
+        """Durability barrier: block until everything submitted is on disk."""
+        self._q.join()
+        self._raise_pending()
+
+    def pending(self) -> int:
+        return self._q.unfinished_tasks
+
+    def close(self) -> None:
+        """Drain, stop the worker thread, and surface any pending error."""
+        if self._closed:
+            return
+        self._q.join()
+        self._closed = True
+        with self._lock:
+            thread = self._thread
+        if thread is not None and thread.is_alive():
+            self._q.put(None)
+            thread.join(timeout=10.0)
+        self._raise_pending()
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._q.get()
+            try:
+                if item is None:
+                    return
+                path, data = item
+                try:
+                    atomic_write_bytes(path, data)
+                    self.writes_completed += 1
+                except BaseException as exc:
+                    with self._lock:
+                        self._error = exc
+            finally:
+                self._q.task_done()

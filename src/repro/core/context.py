@@ -97,6 +97,10 @@ class ExecutionContext:
         self.instance: Any = None
         self._seq_clock = VClock()
         self._last_counted: tuple[int, int] = (-1, -1)  # (region_gen, sp)
+        #: completion vtimes (ascending) of async checkpoint writes not
+        #: yet finished; mirrors the writer's bounded queue so the model
+        #: stalls exactly when the real submit() would block.
+        self._async_pending: list[float] = []
 
         if config.mode.uses_team:
             self.team = team if team is not None else ThreadTeam(self.machine, size=config.workers,
@@ -432,12 +436,56 @@ class ExecutionContext:
         snap = self.capture_snapshot(count)
         if self.rank == 0:
             self.store.write(snap)
-            self.clock().charge_io(
-                self.machine.disk.write_cost(self.store.last_write_nbytes))
+            self._charge_write(self.store.last_write_nbytes)
         self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes,
+                      written=self.store.last_write_nbytes,
+                      ckpt_kind=self.store.last_write_kind,
+                      asynchronous=self.store.is_async,
                       strategy=self.ckpt_strategy,
                       save_seconds=self.clock().now - t0)
+
+    def _charge_write(self, nbytes: int) -> None:
+        """Charge one checkpoint write to the calling line of execution.
+
+        Synchronous stores pay the full disk write inline.  With an async
+        writer the critical path pays only the in-memory buffer copy; the
+        disk time overlaps the compute that follows.  The model mirrors
+        the writer's real backpressure — ``depth`` images may be queued
+        behind the one in flight, writes are serialised, and a submission
+        into a full queue stalls until the earliest pending write lands —
+        so ``ckpt_async_depth`` changes modelled cost exactly as it
+        changes the real writer's blocking.
+        """
+        clk = self.clock()
+        cost = self.machine.disk.write_cost(nbytes)
+        if not self.store.is_async:
+            clk.charge_io(cost)
+            return
+        clk.charge_io(self.machine.disk.copy_cost(nbytes))
+        pending = [d for d in self._async_pending if d > clk.now]
+        if len(pending) > self.store.writer.depth:
+            clk.charge_io(pending[0] - clk.now)  # queue full: wait one out
+            pending = pending[1:]
+        start = max(clk.now, pending[-1] if pending else 0.0)
+        pending.append(start + cost)
+        self._async_pending = pending
+
+    def ckpt_flush_barrier(self) -> None:
+        """Make every submitted checkpoint durable, charging the
+        non-overlapped remainder of the pending writes.
+
+        Called at the boundaries where recovery may need to read what was
+        written: adaptation exits, end of a phase, and (by the runtime,
+        without a live clock) after failures.
+        """
+        if self.store is None or not self.store.is_async:
+            return
+        clk = self.clock()
+        if self._async_pending and self._async_pending[-1] > clk.now:
+            clk.charge_io(self._async_pending[-1] - clk.now)
+        self._async_pending = []
+        self.store.flush()
 
     def _take_checkpoint_local(self, count: int) -> None:
         """Per-rank shards with the paper's two global barriers."""
@@ -468,8 +516,8 @@ class ExecutionContext:
             comm = self.rankctx.comm
             if self.rank == 0 and snap is not None:
                 if snap.meta.get("from_disk"):
-                    self.clock().charge_io(
-                        self.machine.disk.read_cost(snap.nbytes))
+                    self.clock().charge_io(self.machine.disk.read_cost(
+                        snap.meta.get("disk_nbytes", snap.nbytes)))
                 snap.restore_into(self.instance)
             for f in self.safedata:
                 part = self.partitioned.get(f)
@@ -483,7 +531,8 @@ class ExecutionContext:
             if snap is None:
                 return  # pure call-stack replay: data is already in place
             if snap.meta.get("from_disk"):
-                self.clock().charge_io(self.machine.disk.read_cost(snap.nbytes))
+                self.clock().charge_io(self.machine.disk.read_cost(
+                    snap.meta.get("disk_nbytes", snap.nbytes)))
             snap.restore_into(self.instance)
         self.log.emit("restore", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes if snap else 0,
@@ -517,8 +566,10 @@ class ExecutionContext:
                 raise WeaveError("restart-based adaptation needs a store")
             if self.rank == 0:
                 self.store.write(snap)
-                self.clock().charge_io(self.machine.disk.write_cost(
-                    self.store.last_write_nbytes))
+                self._charge_write(self.store.last_write_nbytes)
+                # the relaunch reads this file straight back: it must be
+                # durable (and its vtime fully paid) before we unwind.
+                self.ckpt_flush_barrier()
             snap.meta["from_disk"] = True
         self.log.emit("adapt_exit", vtime=self.clock().now, rank=self.rank,
                       count=count, to=str(new), restart=step.via_restart)

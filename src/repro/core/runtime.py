@@ -26,11 +26,13 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.ckpt.delta import IncrementalCheckpointStore
 from repro.ckpt.failure import FailureInjector, InjectedFailure
 from repro.ckpt.policy import CheckpointPolicy, Never
 from repro.ckpt.replay import ReplayState
-from repro.ckpt.snapshot import Snapshot
+from repro.ckpt.snapshot import Snapshot, SnapshotCorrupt
 from repro.ckpt.store import CheckpointStore, RunLedger
+from repro.ckpt.writer import AsyncCheckpointWriter
 from repro.core.adaptation import AdaptationPlan, AdaptationRecord
 from repro.core.context import (
     STRATEGY_MASTER,
@@ -85,11 +87,29 @@ class Runtime:
                  ckpt_strategy: str = STRATEGY_MASTER,
                  log: EventLog | None = None,
                  restart_penalty: float = 0.02,
-                 adapt_penalty: float = 0.01) -> None:
+                 adapt_penalty: float = 0.01,
+                 ckpt_delta: bool = False,
+                 ckpt_anchor_every: int = 8,
+                 ckpt_compress_min_bytes: int | None = None,
+                 ckpt_async: bool = False,
+                 ckpt_async_depth: int = 2) -> None:
         self.machine = machine if machine is not None else MachineModel()
         if ckpt_dir is None:
             ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
-        self.store = CheckpointStore(ckpt_dir)
+        # checkpointing subsystem knobs: incremental (delta) snapshots
+        # with periodic full anchors, per-section zlib compression, and
+        # an asynchronous double-buffered writer.  Defaults reproduce
+        # the paper's full synchronous snapshot at every checkpoint.
+        if ckpt_delta:
+            self.store: CheckpointStore = IncrementalCheckpointStore(
+                ckpt_dir, anchor=ckpt_anchor_every,
+                compress_min_bytes=ckpt_compress_min_bytes)
+        else:
+            self.store = CheckpointStore(
+                ckpt_dir, compress_min_bytes=ckpt_compress_min_bytes)
+        if ckpt_async:
+            self.store.attach_writer(AsyncCheckpointWriter(
+                depth=ckpt_async_depth))
         self.ledger = RunLedger(ckpt_dir)
         self.policy = policy if policy is not None else Never()
         self.ckpt_strategy = ckpt_strategy
@@ -98,6 +118,22 @@ class Runtime:
         self.restart_penalty = restart_penalty
         #: modelled coordination cost of a live cross-mode adaptation.
         self.adapt_penalty = adapt_penalty
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop the async checkpoint writer (if any).
+
+        Call when done with the runtime in long-lived processes; with
+        ``ckpt_async`` each runtime otherwise keeps one idle daemon
+        thread alive.  A closed runtime cannot checkpoint again.
+        """
+        self.store.close()
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(self,
@@ -132,6 +168,7 @@ class Runtime:
         # --- pcr start-up check (Figure 2 step 1) ----------------------
         replay: ReplayState | None = None
         if self.ledger.previous_run_failed():
+            self.store.flush()  # surviving async writes become readable
             snap = self.store.read_latest()
             if snap is not None:
                 snap.meta["from_disk"] = True
@@ -151,6 +188,7 @@ class Runtime:
                 value = self._launch_phase(
                     woven, ctor_args, ctor_kwargs, entry, entry_args,
                     config, plan, injector, replay, vtime, probe)
+                self.store.flush()  # all checkpoints durable before "done"
                 self.ledger.mark_completed()
                 phases.append(PhaseReport(config, vtime, probe["end"],
                                           "completed"))
@@ -164,8 +202,12 @@ class Runtime:
                 step = ae.new_config
                 snap = ae.snapshot
                 if step.via_restart:
-                    disk = self.store.read_latest()
-                    if disk is None or disk.safepoint_count != step.at:
+                    self.store.flush()
+                    try:
+                        # the checkpoint at the exit point, regardless of
+                        # whether newer checkpoints exist on disk.
+                        disk = self.store.read(step.at)
+                    except (SnapshotCorrupt, OSError):
                         raise WeaveError(
                             "restart-based adaptation found no checkpoint "
                             f"at safe point {step.at}") from ae
@@ -186,6 +228,9 @@ class Runtime:
                                           "failed"))
                 self.log.emit("failure", vtime=probe["end"],
                               count=fail.safepoint)
+                # recovery (this run's or a later one's) must only ever
+                # see fully-written files.
+                self.store.flush()
                 if not auto_recover:
                     raise  # ledger stays "running": next run() replays
                 restarts += 1
@@ -249,7 +294,9 @@ class Runtime:
         try:
             instance = woven(*ctor_args, **ctor_kwargs)
             ctx.bind(instance)
-            return getattr(instance, entry)(*entry_args)
+            value = getattr(instance, entry)(*entry_args)
+            ctx.ckpt_flush_barrier()  # pay the in-flight write remainder
+            return value
         finally:
             probe["end"] = max(probe["end"], ctx.max_time())
 
@@ -274,6 +321,8 @@ class Runtime:
             result = getattr(instance, entry)(*entry_args)
             if team is not None:
                 rankctx.clock.advance_to(team.clock.now)
+            if rankctx.rank == 0:
+                ctx.ckpt_flush_barrier()
             return result
 
         try:

@@ -52,6 +52,37 @@ def crc32_of(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
+#: section flag: payload is zlib-compressed (checkpoint container format).
+SEC_ZLIB = 0x1
+
+#: default threshold below which compression is never attempted — tiny
+#: sections (counters, scalars) cost more in header bytes than they save.
+COMPRESS_MIN_BYTES = 1 << 12
+
+
+def pack_section(blob: bytes, compress_min_bytes: int | None
+                 ) -> tuple[int, bytes]:
+    """Negotiate per-section compression by size threshold.
+
+    Returns ``(flags, stored_blob)``.  Compression is applied only when
+    the blob clears the threshold AND actually shrinks; incompressible
+    data (already-compressed, high-entropy floats) is stored raw so the
+    reader never pays decompression for nothing.
+    """
+    if compress_min_bytes is not None and len(blob) >= compress_min_bytes:
+        packed = zlib.compress(blob, 6)
+        if len(packed) < len(blob):
+            return SEC_ZLIB, packed
+    return 0, blob
+
+
+def unpack_section(flags: int, blob: bytes) -> bytes:
+    """Inverse of :func:`pack_section`."""
+    if flags & SEC_ZLIB:
+        return zlib.decompress(blob)
+    return blob
+
+
 def nbytes_of(obj: Any) -> int:
     """Approximate wire size of ``obj`` in bytes.
 
@@ -62,7 +93,11 @@ def nbytes_of(obj: Any) -> int:
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray, memoryview)):
+    if isinstance(obj, memoryview):
+        # len() is the element count along the first axis, not bytes
+        # (wrong whenever itemsize > 1 or the view is multi-dimensional).
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, (list, tuple)) and obj and all(
         isinstance(x, np.ndarray) for x in obj

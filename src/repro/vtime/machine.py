@@ -50,12 +50,20 @@ class DiskModel:
     latency: float = 5e-3
     write_bandwidth: float = 120e6
     read_bandwidth: float = 150e6
+    #: memory-to-memory bandwidth of the async writer's double-buffer
+    #: copy (memcpy class) — the only cost an asynchronous checkpoint
+    #: leaves on the critical path when the writer keeps up.
+    copy_bandwidth: float = 8e9
 
     def write_cost(self, nbytes: int) -> float:
         return self.latency + nbytes / self.write_bandwidth
 
     def read_cost(self, nbytes: int) -> float:
         return self.latency + nbytes / self.read_bandwidth
+
+    def copy_cost(self, nbytes: int) -> float:
+        """In-memory handoff cost of one async checkpoint submission."""
+        return nbytes / self.copy_bandwidth
 
 
 @dataclass(frozen=True)

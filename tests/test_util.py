@@ -96,6 +96,19 @@ class TestSerialization:
         xs = [np.zeros(4), np.zeros(6)]
         assert nbytes_of(xs) == 80
 
+    def test_nbytes_memoryview_counts_bytes_not_elements(self):
+        """Regression: len(memoryview) is the element count, not bytes."""
+        x = np.zeros(10, dtype=np.float64)
+        mv = memoryview(x)
+        assert len(mv) == 10
+        assert nbytes_of(mv) == 80
+        # multi-dimensional views: len() is only the first axis
+        mv2 = memoryview(np.zeros((4, 8), dtype=np.int32))
+        assert nbytes_of(mv2) == 128
+
+    def test_nbytes_memoryview_of_bytes(self):
+        assert nbytes_of(memoryview(b"abcdef")) == 6
+
     @given(st.binary(max_size=256))
     def test_portable_bytes_roundtrip(self, data):
         assert loads_portable(dumps_portable(data)) == data
