@@ -28,6 +28,7 @@ Implements the paper's Section IV.A machinery:
 from repro.ckpt.delta import IncrementalCheckpointStore
 from repro.ckpt.failure import FailureInjector, InjectedFailure
 from repro.ckpt.policy import (
+    AdaptiveAnchor,
     AlwaysAnchor,
     AnchorEvery,
     AnchorPolicy,
@@ -42,6 +43,7 @@ from repro.ckpt.store import CheckpointStore, RunLedger
 from repro.ckpt.writer import AsyncCheckpointWriter, AsyncWriteFailed
 
 __all__ = [
+    "AdaptiveAnchor",
     "AlwaysAnchor",
     "AnchorEvery",
     "AnchorPolicy",

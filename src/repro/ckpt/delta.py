@@ -32,6 +32,7 @@ anchor degrades recovery by one anchor interval, never to a wrong state.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import os
 from typing import Any
@@ -63,8 +64,10 @@ class IncrementalCheckpointStore(CheckpointStore):
 
     def __init__(self, directory: str | os.PathLike,
                  anchor: AnchorPolicy | int = 8,
-                 compress_min_bytes: int | None = None) -> None:
-        super().__init__(directory, compress_min_bytes=compress_min_bytes)
+                 compress_min_bytes: int | None = None,
+                 shard_suffix: str = "") -> None:
+        super().__init__(directory, compress_min_bytes=compress_min_bytes,
+                         shard_suffix=shard_suffix)
         if isinstance(anchor, int):
             anchor = AnchorEvery(anchor)
         self.anchor = anchor
@@ -74,6 +77,15 @@ class IncrementalCheckpointStore(CheckpointStore):
         self._base_count: int | None = None
         self._base_hashes: dict[str, bytes] = {}
         self._chain_len = 0
+
+    # ------------------------------------------------------------------
+    def _make_shard(self, rank: int) -> "IncrementalCheckpointStore":
+        """STRATEGY_LOCAL shards are incremental too, with their own copy
+        of the anchor policy (policies hold per-store cadence state)."""
+        return IncrementalCheckpointStore(
+            self.dir, anchor=copy.deepcopy(self.anchor),
+            compress_min_bytes=self.compress_min_bytes,
+            shard_suffix=f".r{rank}")
 
     # ------------------------------------------------------------------
     def reset_baseline(self) -> None:
@@ -123,6 +135,9 @@ class IncrementalCheckpointStore(CheckpointStore):
         self.total_bytes_written += len(data)
         self._base_count = count
         self._base_hashes = hashes
+        # adaptive anchor policies retarget their cadence from the
+        # observed full/delta size ratio; fixed policies no-op.
+        self.anchor.observe(self.last_write_kind, len(data))
         self._put(self.path_for(count), data)
         return self.path_for(count)
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -39,13 +40,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.ckpt.writer import AsyncCheckpointWriter
 
 _CKPT_RE = re.compile(r"^ckpt_(\d{9})\.pcr$")
+_ANY_CKPT_RE = re.compile(r"^ckpt_(\d{9})(\.r\d+)?\.pcr$")
 
 
 class CheckpointStore:
-    """Directory of numbered, atomically-written checkpoint files."""
+    """Directory of numbered, atomically-written checkpoint files.
+
+    ``shard_suffix`` names a per-rank shard sub-store (files
+    ``ckpt_<count>.r<rank>.pcr`` in the same directory) used by the
+    STRATEGY_LOCAL checkpoint path; the master store's file listing and
+    recovery only ever see master-format files, so shards never shadow a
+    restartable checkpoint.
+    """
 
     def __init__(self, directory: str | os.PathLike,
-                 compress_min_bytes: int | None = None) -> None:
+                 compress_min_bytes: int | None = None,
+                 shard_suffix: str = "") -> None:
         self.dir = Path(directory)
         self.dir.mkdir(parents=True, exist_ok=True)
         #: per-section zlib threshold (None disables compression).
@@ -58,6 +68,12 @@ class CheckpointStore:
         self.total_bytes_written = 0
         #: optional async writer; when set, writes are deferred to it.
         self.writer: "AsyncCheckpointWriter | None" = None
+        #: "" for the master store, ".r<rank>" for a shard sub-store.
+        self.shard_suffix = shard_suffix
+        self._name_re = _CKPT_RE if not shard_suffix else re.compile(
+            rf"^ckpt_(\d{{9}}){re.escape(shard_suffix)}\.pcr$")
+        self._shards: "dict[int, CheckpointStore]" = {}
+        self._shard_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def attach_writer(self, writer: "AsyncCheckpointWriter") -> None:
@@ -78,8 +94,37 @@ class CheckpointStore:
             self.writer.close()
 
     # ------------------------------------------------------------------
+    def shard(self, rank: int) -> "CheckpointStore":
+        """The per-rank shard sub-store for STRATEGY_LOCAL writes.
+
+        Shards share the parent's directory, compression threshold and
+        incremental behaviour (with the anchor-policy configuration
+        copied per shard, so adaptive policies track each rank's own
+        sizes).  Shard writes are always *synchronous*: the local
+        strategy fences every save between two global barriers, so an
+        async writer would stall at the closing barrier anyway, and a
+        per-rank inline write is exactly what the virtual-time model
+        charges.  Cached per rank so delta baselines persist across
+        phases.
+        """
+        if self.shard_suffix:
+            raise ValueError("shard stores cannot be sharded again")
+        if rank < 0:
+            raise ValueError("shard rank must be >= 0")
+        with self._shard_lock:
+            sub = self._shards.get(rank)
+            if sub is None:
+                sub = self._make_shard(rank)
+                self._shards[rank] = sub
+            return sub
+
+    def _make_shard(self, rank: int) -> "CheckpointStore":
+        return CheckpointStore(self.dir,
+                               compress_min_bytes=self.compress_min_bytes,
+                               shard_suffix=f".r{rank}")
+
     def path_for(self, count: int) -> Path:
-        return self.dir / f"ckpt_{count:09d}.pcr"
+        return self.dir / f"ckpt_{count:09d}{self.shard_suffix}.pcr"
 
     def _put(self, path: Path, data: bytes) -> None:
         """Persist one encoded image, sync or via the async writer."""
@@ -106,7 +151,7 @@ class CheckpointStore:
         """Safe-point counts of all stored checkpoints, ascending."""
         out = []
         for name in os.listdir(self.dir):
-            m = _CKPT_RE.match(name)
+            m = self._name_re.match(name)
             if m:
                 out.append(int(m.group(1)))
         return sorted(out)
@@ -159,6 +204,21 @@ class CheckpointStore:
 
     def clear(self) -> None:
         self.prune(keep=0)
+        if self.shard_suffix:
+            return
+        # reset live shard sub-stores (delta baselines included), then
+        # sweep leftover shard files from ranks of earlier runs.
+        with self._shard_lock:
+            shards = list(self._shards.values())
+        for sub in shards:
+            sub.clear()
+        for name in os.listdir(self.dir):
+            m = _ANY_CKPT_RE.match(name)
+            if m and m.group(2):
+                try:
+                    (self.dir / name).unlink()
+                except OSError:
+                    pass
 
 
 class RunLedger:

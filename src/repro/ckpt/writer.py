@@ -117,7 +117,10 @@ class AsyncCheckpointWriter:
             raise RuntimeError("writer is closed")
         self._raise_pending()
         self._ensure_thread()
-        self.bytes_submitted += len(data)
+        with self._lock:
+            # concurrently reachable: STRATEGY_LOCAL shard stores share
+            # one writer across rank threads.
+            self.bytes_submitted += len(data)
         self._q.put((Path(path), data))
 
     def flush(self) -> None:

@@ -30,7 +30,7 @@ from repro.core.context import (
     ExecutionContext,
 )
 from repro.core.errors import AdaptationExit, WeaveError
-from repro.core.modes import ExecConfig, Mode
+from repro.core.modes import Capabilities, ExecConfig, Mode
 from repro.core.plugs import PlugSet
 from repro.core.rewriter import is_woven, make_context, plug, unplug
 from repro.core.runtime import PhaseReport, RunResult, Runtime
@@ -68,6 +68,7 @@ __all__ = [
     "AdaptationRecord",
     "BarrierAfter",
     "BarrierBefore",
+    "Capabilities",
     "ExecConfig",
     "ExecutionContext",
     "ForMethod",

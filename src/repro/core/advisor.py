@@ -39,10 +39,20 @@ class _Trial:
 
 
 class SelfAdaptationAdvisor:
-    """Measure-and-climb configuration search over the run's own timeline."""
+    """Measure-and-climb configuration search over the run's own timeline.
+
+    Candidate rungs are filtered through the execution-backend
+    ``registry`` (default: the process-wide one), so the advisor only
+    ever proposes configurations whose mode actually has a registered
+    backend — an adaptation decision is a backend choice, not just a
+    shape.
+    """
 
     def __init__(self, machine: MachineModel, max_pe: int | None = None,
-                 window: int = 5, tolerance: float = 0.05) -> None:
+                 window: int = 5, tolerance: float = 0.05,
+                 registry=None) -> None:
+        from repro.exec.registry import default_registry
+
         if window < 2:
             raise ValueError("need at least 2 safe points per measurement")
         if not (0.0 <= tolerance < 1.0):
@@ -51,6 +61,7 @@ class SelfAdaptationAdvisor:
         self.window = window
         self.tolerance = tolerance
         self.max_pe = max_pe if max_pe is not None else machine.total_cores
+        self.registry = registry if registry is not None else default_registry()
         self.ladder = self._build_ladder()
         #: measured seconds-per-iteration per tried configuration.
         self.measured: dict[ExecConfig, float] = {}
@@ -58,18 +69,33 @@ class SelfAdaptationAdvisor:
         self._settled = False
         self.decisions: list[tuple[int, ExecConfig]] = []
 
+    def use_registry(self, registry) -> None:
+        """Re-anchor the candidate ladder on ``registry``.
+
+        The runtime calls this when it launches with its own backend
+        registry, so the advisor never proposes a configuration the
+        driver cannot resolve.  Keeps measurements; rebuilds the ladder.
+        """
+        if registry is None or registry is self.registry:
+            return
+        self.registry = registry
+        self.ladder = self._build_ladder()
+
     # ------------------------------------------------------------------
     def _build_ladder(self) -> list[ExecConfig]:
-        """Candidate configurations in increasing parallelism."""
+        """Candidate configurations in increasing parallelism, restricted
+        to modes the backend registry can actually launch."""
         ladder = [ExecConfig.sequential()]
-        w = 2
-        while w <= min(self.max_pe, self.machine.cores_per_node):
-            ladder.append(ExecConfig.shared(w))
-            w *= 2
-        p = self.machine.cores_per_node * 2
-        while p <= self.max_pe:
-            ladder.append(ExecConfig.distributed(p))
-            p *= 2
+        if self.registry.supports(Mode.SHARED):
+            w = 2
+            while w <= min(self.max_pe, self.machine.cores_per_node):
+                ladder.append(ExecConfig.shared(w))
+                w *= 2
+        if self.registry.supports(Mode.DISTRIBUTED):
+            p = self.machine.cores_per_node * 2
+            while p <= self.max_pe:
+                ladder.append(ExecConfig.distributed(p))
+                p *= 2
         return ladder
 
     def _next_candidate(self, current: ExecConfig) -> ExecConfig | None:

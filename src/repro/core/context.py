@@ -36,7 +36,7 @@ from repro.ckpt.snapshot import Snapshot
 from repro.ckpt.store import CheckpointStore
 from repro.core.adaptation import AdaptationPlan, AdaptStep
 from repro.core.errors import AdaptationExit, WeaveError
-from repro.core.modes import ExecConfig, Mode
+from repro.core.modes import Capabilities, ExecConfig, Mode
 from repro.dsm.comm import RankContext
 from repro.dsm.partition import (
     BlockLayout,
@@ -76,10 +76,15 @@ class ExecutionContext:
                  team: ThreadTeam | None = None,
                  rankctx: RankContext | None = None,
                  start_count: int = 0,
-                 advisor=None) -> None:
+                 advisor=None,
+                 caps: Capabilities | None = None) -> None:
         if ckpt_strategy not in (STRATEGY_MASTER, STRATEGY_LOCAL):
             raise ValueError(f"unknown checkpoint strategy {ckpt_strategy!r}")
         self.config = config
+        #: coordination services the execution backend provides; contexts
+        #: built outside a backend default to the mode's stock set.
+        self.caps = caps if caps is not None \
+            else config.mode.default_capabilities()
         self.machine = machine if machine is not None else MachineModel()
         self.log = log if log is not None else EventLog()
         self.store = store
@@ -102,9 +107,9 @@ class ExecutionContext:
         #: stalls exactly when the real submit() would block.
         self._async_pending: list[float] = []
 
-        if config.mode.uses_team:
-            self.team = team if team is not None else ThreadTeam(self.machine, size=config.workers,
-                                           log=self.log)
+        if self.caps.team_regions:
+            self.team = team if team is not None else ThreadTeam(
+                self.machine, size=config.workers, log=self.log)
         else:
             self.team = None
 
@@ -114,12 +119,33 @@ class ExecutionContext:
         return self.config.mode
 
     @property
+    def distributed(self) -> bool:
+        """Are rank-level collectives live for this execution?
+
+        True only when the backend declared the capability *and* bound a
+        rank identity — the single predicate behind every collective, so
+        nothing else needs to branch on mode identity.
+        """
+        return self.caps.rank_collectives and self.rankctx is not None
+
+    @property
     def rank(self) -> int:
         return self.rankctx.rank if self.rankctx is not None else 0
 
     @property
     def nranks(self) -> int:
         return self.rankctx.nranks if self.rankctx is not None else 1
+
+    def seed_clock(self, start_vtime: float) -> None:
+        """Start this context's base clock at the phase's start time.
+
+        Backends call this so virtual time is continuous across phases;
+        rank clocks are seeded by the cluster launcher instead.
+        """
+        if self.team is not None:
+            self.team.clock.advance_to(start_vtime)
+        else:
+            self._seq_clock.advance_to(start_vtime)
 
     def clock(self) -> VClock:
         """The virtual clock of the calling thread's line of execution."""
@@ -170,7 +196,7 @@ class ExecutionContext:
     def barrier(self) -> None:
         if self.in_region():
             self.team.barrier()  # type: ignore[union-attr]
-        elif self.mode.uses_cluster and self.rankctx is not None:
+        elif self.distributed:
             if not self.replay_active():
                 self.rankctx.comm.barrier()
 
@@ -204,7 +230,7 @@ class ExecutionContext:
         thread and defeat the schedule.
         """
         ranges = [(lo, hi)]
-        if self.mode.uses_cluster and self.rankctx is not None:
+        if self.distributed:
             ranges = self._rank_restrict(lo, hi, tmpl)
         if self.team is not None and self.team.in_region():
             # worksharing registers the occurrence eagerly (at call time),
@@ -264,7 +290,7 @@ class ExecutionContext:
             op()
 
     def scatter_field(self, field: str) -> None:
-        if not (self.mode.uses_cluster and self.rankctx is not None):
+        if not (self.distributed):
             return
         if self.replay_active():
             return  # data will come from the snapshot at the restore point
@@ -279,7 +305,7 @@ class ExecutionContext:
         self._rank_comm_guarded(_do)
 
     def gather_field(self, field: str) -> None:
-        if not (self.mode.uses_cluster and self.rankctx is not None):
+        if not (self.distributed):
             return
         if self.replay_active():
             return
@@ -295,7 +321,7 @@ class ExecutionContext:
 
     def allgather_field(self, field: str) -> None:
         """Whole-array refresh of a partitioned field on every member."""
-        if not (self.mode.uses_cluster and self.rankctx is not None):
+        if not (self.distributed):
             return
         if self.replay_active():
             return
@@ -314,7 +340,7 @@ class ExecutionContext:
         self._rank_comm_guarded(_do)
 
     def halo_field(self, field: str) -> None:
-        if not (self.mode.uses_cluster and self.rankctx is not None):
+        if not (self.distributed):
             return
         if self.replay_active():
             return
@@ -331,7 +357,7 @@ class ExecutionContext:
 
     def reduce_result(self, value: Any,
                       combine: Callable[[Any, Any], Any] | None) -> Any:
-        if not (self.mode.uses_cluster and self.rankctx is not None):
+        if not (self.distributed):
             return value
         if self.replay_active():
             return value
@@ -413,7 +439,7 @@ class ExecutionContext:
         to restart the application on any of the execution modes".
         All ranks return a Snapshot object but only member 0's holds data.
         """
-        if collect and self.mode.uses_cluster and self.rankctx is not None:
+        if collect and self.distributed:
             for f in self.safedata:
                 part = self.partitioned.get(f)
                 if part is not None and not part.whole_at_safepoints:
@@ -428,8 +454,7 @@ class ExecutionContext:
     def _take_checkpoint(self, count: int) -> None:
         if self.store is None:
             raise WeaveError("checkpoint due but no CheckpointStore configured")
-        if self.ckpt_strategy == STRATEGY_LOCAL and self.rankctx is not None \
-                and self.mode.uses_cluster:
+        if self.ckpt_strategy == STRATEGY_LOCAL and self.distributed:
             self._take_checkpoint_local(count)
             return
         t0 = self.clock().now
@@ -445,7 +470,8 @@ class ExecutionContext:
                       strategy=self.ckpt_strategy,
                       save_seconds=self.clock().now - t0)
 
-    def _charge_write(self, nbytes: int) -> None:
+    def _charge_write(self, nbytes: int,
+                      store: CheckpointStore | None = None) -> None:
         """Charge one checkpoint write to the calling line of execution.
 
         Synchronous stores pay the full disk write inline.  With an async
@@ -456,15 +482,20 @@ class ExecutionContext:
         into a full queue stalls until the earliest pending write lands —
         so ``ckpt_async_depth`` changes modelled cost exactly as it
         changes the real writer's blocking.
+
+        ``store`` selects the store whose write is being charged (a
+        per-rank shard store under STRATEGY_LOCAL); default is the master
+        store.
         """
+        store = store if store is not None else self.store
         clk = self.clock()
         cost = self.machine.disk.write_cost(nbytes)
-        if not self.store.is_async:
+        if not store.is_async:
             clk.charge_io(cost)
             return
         clk.charge_io(self.machine.disk.copy_cost(nbytes))
         pending = [d for d in self._async_pending if d > clk.now]
-        if len(pending) > self.store.writer.depth:
+        if len(pending) > store.writer.depth:
             clk.charge_io(pending[0] - clk.now)  # queue full: wait one out
             pending = pending[1:]
         start = max(clk.now, pending[-1] if pending else 0.0)
@@ -488,21 +519,30 @@ class ExecutionContext:
         self.store.flush()
 
     def _take_checkpoint_local(self, count: int) -> None:
-        """Per-rank shards with the paper's two global barriers."""
+        """Per-rank shards with the paper's two global barriers.
+
+        Each rank writes through its own shard sub-store
+        (:meth:`CheckpointStore.shard`), so shard files get the master
+        path's atomic-write discipline and — under an incremental master
+        store — per-rank delta encoding with the same anchor policy.
+        """
         assert self.rankctx is not None and self.store is not None
+        shard = self.store.shard(self.rank)
+        t0 = self.clock().now
         self.rankctx.comm.barrier()
         snap = Snapshot.capture(
             self.instance, self.safedata, count,
             mode=self.mode.value, nranks=self.nranks, shard=self.rank)
-        path = self.store.dir / f"ckpt_{count:09d}.r{self.rank}.pcr"
-        data = snap.encode()
-        tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(data)
-        tmp.replace(path)
-        self.clock().charge_io(self.machine.disk.write_cost(len(data)))
+        shard.write(snap)
+        self._charge_write(shard.last_write_nbytes, store=shard)
         self.rankctx.comm.barrier()
         self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
-                      count=count, nbytes=snap.nbytes, strategy="local")
+                      count=count, nbytes=snap.nbytes,
+                      written=shard.last_write_nbytes,
+                      ckpt_kind=shard.last_write_kind,
+                      asynchronous=shard.is_async,
+                      strategy="local",
+                      save_seconds=self.clock().now - t0)
 
     def _restore(self, snap: Snapshot | None, count: int) -> None:
         """Load checkpoint data at the replay target (Figure 2b, step 4).
@@ -512,7 +552,7 @@ class ExecutionContext:
         (non-root members receive their partitions over the wire).
         """
         t0 = self.clock().now
-        if self.mode.uses_cluster and self.rankctx is not None:
+        if self.distributed:
             comm = self.rankctx.comm
             if self.rank == 0 and snap is not None:
                 if snap.meta.get("from_disk"):
@@ -548,7 +588,8 @@ class ExecutionContext:
             not step.via_restart
             and new.mode == cur.mode
             and new.nranks == cur.nranks
-            and cur.mode.uses_team
+            and new.backend == cur.backend  # backend switch must relaunch
+            and self.caps.team_regions
             and self.team is not None)
         if live_team_resize:
             # run-time protocol, thread dimension only: reshape in place.

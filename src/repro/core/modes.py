@@ -1,16 +1,38 @@
-"""Execution modes.
+"""Execution modes and backend capabilities.
 
 Pluggable parallelisation deploys one code base in multiple execution
 modes (Section III.A): strict sequential, shared-memory threads,
 distributed-memory aggregates, and the hybrid composition.  The mode is a
 property of the *execution context*, not the woven class: the same woven
 class runs in any mode, which is what makes run-time adaptation possible.
+
+A mode names a *semantic* shape; the machinery that realises it is an
+:class:`repro.exec.ExecutionBackend` resolved through a backend registry.
+:class:`Capabilities` is the contract between the two: the backend
+declares which coordination services (team regions, rank collectives) the
+:class:`~repro.core.context.ExecutionContext` may use, so the context
+never has to branch on mode identity.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Coordination services an execution backend provides.
+
+    * ``team_regions`` — parallel regions on a thread team: team
+      barriers, work sharing, team locks, single/master arbitration.
+    * ``rank_collectives`` — rank-level communication: cluster barrier,
+      scatter/gather/halo/allreduce, master-rank collection.
+    """
+
+    team_regions: bool = False
+    rank_collectives: bool = False
 
 
 class Mode(enum.Enum):
@@ -27,6 +49,11 @@ class Mode(enum.Enum):
     def uses_cluster(self) -> bool:
         return self in (Mode.DISTRIBUTED, Mode.HYBRID)
 
+    def default_capabilities(self) -> Capabilities:
+        """The capability set the mode's stock backend provides."""
+        return Capabilities(team_regions=self.uses_team,
+                            rank_collectives=self.uses_cluster)
+
 
 @dataclass(frozen=True)
 class ExecConfig:
@@ -34,11 +61,17 @@ class ExecConfig:
 
     ``processing_elements`` is the figure-of-merit the paper's plots use
     ("lines of execution" for threads, processes for MPI).
+
+    ``backend`` optionally pins the configuration to a *named* execution
+    backend in the registry instead of the mode's stock one, which is how
+    an adaptation step (or a user) selects an alternative implementation
+    of the same semantic shape.  ``None`` resolves by mode.
     """
 
     mode: Mode = Mode.SEQUENTIAL
     workers: int = 1   # threads per team (SHARED / HYBRID)
     nranks: int = 1    # aggregate members (DISTRIBUTED / HYBRID)
+    backend: str | None = None  # registry name; None = resolve by mode
 
     def __post_init__(self) -> None:
         if self.workers < 1 or self.nranks < 1:
@@ -54,6 +87,10 @@ class ExecConfig:
     @property
     def processing_elements(self) -> int:
         return self.workers * self.nranks
+
+    def with_backend(self, name: str | None) -> "ExecConfig":
+        """The same shape, resolved through the named backend."""
+        return dataclasses.replace(self, backend=name)
 
     @classmethod
     def sequential(cls) -> "ExecConfig":

@@ -2,18 +2,24 @@
 
 ``Runtime.run(...)`` is the rewritten "main" of the paper's Figure 2: it
 performs the pcr start-up check (did the previous execution fail? is
-there a checkpoint to replay to?), launches the application in the
-requested configuration, and loops on the two unwind events:
+there a checkpoint to replay to?) and hands the run to a
+:class:`~repro.exec.driver.PhaseDriver`, which loops phases through the
+execution-backend registry.  The runtime itself contains no launch code
+and no mode conditionals: *how* a configuration executes is entirely the
+resolved :class:`~repro.exec.base.ExecutionBackend`'s concern, which is
+what makes a new execution substrate a drop-in backend module instead of
+a launcher rewrite.
 
-* :class:`AdaptationExit` — a safe point decided to reshape across ranks
-  or modes.  The runtime relaunches in the new configuration with a
-  replay state targeting the exit safe point.  Live adaptations hand the
+The driver reacts to the two unwind outcomes a backend can report:
+
+* adaptation — a safe point decided to reshape across ranks, modes or
+  backends.  The run relaunches in the new configuration with a replay
+  state targeting the exit safe point.  Live adaptations hand the
   captured snapshot over in memory; restart-based ones read it back from
   the checkpoint store and additionally pay the restart penalty.
-* failures (:class:`InjectedFailure`, or a rank failure wrapping one) —
-  with ``auto_recover`` the runtime restarts from the newest checkpoint,
-  optionally in a different configuration (``recover_config``), which is
-  exactly the paper's Figure 6 experiment.
+* failure — with ``auto_recover`` the run restarts from the newest
+  checkpoint, optionally in a different configuration
+  (``recover_config``), which is exactly the paper's Figure 6 experiment.
 
 Virtual time is continuous across phases: each relaunch's clocks start at
 the previous phase's end time plus the modelled transition overhead.
@@ -27,25 +33,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.ckpt.delta import IncrementalCheckpointStore
-from repro.ckpt.failure import FailureInjector, InjectedFailure
-from repro.ckpt.policy import CheckpointPolicy, Never
+from repro.ckpt.failure import FailureInjector
+from repro.ckpt.policy import AdaptiveAnchor, AnchorPolicy, CheckpointPolicy, Never
 from repro.ckpt.replay import ReplayState
-from repro.ckpt.snapshot import Snapshot, SnapshotCorrupt
 from repro.ckpt.store import CheckpointStore, RunLedger
 from repro.ckpt.writer import AsyncCheckpointWriter
 from repro.core.adaptation import AdaptationPlan, AdaptationRecord
-from repro.core.context import (
-    STRATEGY_MASTER,
-    ExecutionContext,
-    clone_policy,
-)
-from repro.core.errors import AdaptationExit, WeaveError
-from repro.core.modes import ExecConfig, Mode
-from repro.core.plugs import PlugSet
+from repro.core.context import STRATEGY_MASTER
+from repro.core.errors import WeaveError
+from repro.core.modes import ExecConfig
 from repro.core.rewriter import is_woven
-from repro.dsm.comm import current_rank
-from repro.dsm.simcluster import RankFailure, SimCluster
-from repro.smp.team import ThreadTeam
 from repro.util.events import EventLog
 from repro.vtime.machine import MachineModel
 
@@ -89,17 +86,22 @@ class Runtime:
                  restart_penalty: float = 0.02,
                  adapt_penalty: float = 0.01,
                  ckpt_delta: bool = False,
-                 ckpt_anchor_every: int = 8,
+                 ckpt_anchor_every: int | str | AnchorPolicy = 8,
                  ckpt_compress_min_bytes: int | None = None,
                  ckpt_async: bool = False,
-                 ckpt_async_depth: int = 2) -> None:
+                 ckpt_async_depth: int = 2,
+                 registry=None) -> None:
         self.machine = machine if machine is not None else MachineModel()
         if ckpt_dir is None:
             ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
         # checkpointing subsystem knobs: incremental (delta) snapshots
-        # with periodic full anchors, per-section zlib compression, and
-        # an asynchronous double-buffered writer.  Defaults reproduce
-        # the paper's full synchronous snapshot at every checkpoint.
+        # with periodic full anchors (fixed cadence, an AnchorPolicy, or
+        # "adaptive" for the delta/full-ratio-driven policy), per-section
+        # zlib compression, and an asynchronous double-buffered writer.
+        # Defaults reproduce the paper's full synchronous snapshot at
+        # every checkpoint.
+        if ckpt_anchor_every == "adaptive":
+            ckpt_anchor_every = AdaptiveAnchor()
         if ckpt_delta:
             self.store: CheckpointStore = IncrementalCheckpointStore(
                 ckpt_dir, anchor=ckpt_anchor_every,
@@ -118,6 +120,8 @@ class Runtime:
         self.restart_penalty = restart_penalty
         #: modelled coordination cost of a live cross-mode adaptation.
         self.adapt_penalty = adapt_penalty
+        #: execution-backend registry (None = the process-wide default).
+        self.registry = registry
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -154,11 +158,21 @@ class Runtime:
 
         ``fresh`` wipes ledger + checkpoints first (ignore earlier runs).
         """
+        # Imported lazily: repro.exec depends on repro.core modules, so a
+        # top-level import here would re-enter this package mid-init.
+        from repro.exec.base import PhaseServices
+        from repro.exec.driver import PhaseDriver
+
         if not is_woven(woven):
             raise WeaveError(
                 f"{woven.__name__} is not woven; call plug(cls, plugset)")
+        if advisor is not None and self.registry is not None:
+            # the advisor must only propose configurations THIS runtime's
+            # registry can launch, not the process-wide default's.
+            sync = getattr(advisor, "use_registry", None)
+            if sync is not None:
+                sync(self.registry)
         ctor_kwargs = ctor_kwargs or {}
-        self._advisor = advisor
         plan = plan if plan is not None else AdaptationPlan()
         injector = injector if injector is not None else FailureInjector()
         if fresh:
@@ -176,170 +190,14 @@ class Runtime:
                 self.log.emit("pcr_replay_engaged",
                               count=snap.safepoint_count)
 
-        vtime = 0.0
-        phases: list[PhaseReport] = []
-        adaptations: list[AdaptationRecord] = []
-        restarts = 0
-
-        while True:
-            self.ledger.mark_running()
-            probe: dict[str, float] = {"end": vtime}
-            try:
-                value = self._launch_phase(
-                    woven, ctor_args, ctor_kwargs, entry, entry_args,
-                    config, plan, injector, replay, vtime, probe)
-                self.store.flush()  # all checkpoints durable before "done"
-                self.ledger.mark_completed()
-                phases.append(PhaseReport(config, vtime, probe["end"],
-                                          "completed"))
-                return RunResult(value=value, vtime=probe["end"],
-                                 events=self.log, final_config=config,
-                                 phases=phases, restarts=restarts,
-                                 adaptations=adaptations)
-            except AdaptationExit as ae:
-                phases.append(PhaseReport(config, vtime, probe["end"],
-                                          "adapted"))
-                step = ae.new_config
-                snap = ae.snapshot
-                if step.via_restart:
-                    self.store.flush()
-                    try:
-                        # the checkpoint at the exit point, regardless of
-                        # whether newer checkpoints exist on disk.
-                        disk = self.store.read(step.at)
-                    except (SnapshotCorrupt, OSError):
-                        raise WeaveError(
-                            "restart-based adaptation found no checkpoint "
-                            f"at safe point {step.at}") from ae
-                    disk.meta["from_disk"] = True
-                    snap = disk
-                    vtime = probe["end"] + self.restart_penalty
-                else:
-                    vtime = probe["end"] + self.adapt_penalty
-                adaptations.append(AdaptationRecord(
-                    at_count=step.at, from_config=config,
-                    to_config=step.config, via_restart=step.via_restart,
-                    vtime=vtime))
-                replay = ReplayState(target=step.at, snapshot=snap)
-                config = step.config
-                continue
-            except InjectedFailure as fail:
-                phases.append(PhaseReport(config, vtime, probe["end"],
-                                          "failed"))
-                self.log.emit("failure", vtime=probe["end"],
-                              count=fail.safepoint)
-                # recovery (this run's or a later one's) must only ever
-                # see fully-written files.
-                self.store.flush()
-                if not auto_recover:
-                    raise  # ledger stays "running": next run() replays
-                restarts += 1
-                if restarts > max_restarts:
-                    raise
-                snap = self.store.read_latest()
-                if snap is not None:
-                    snap.meta["from_disk"] = True
-                    replay = ReplayState.from_snapshot(snap)
-                else:
-                    replay = None  # no checkpoint: recompute from scratch
-                if recover_config is not None:
-                    config = recover_config(restarts)
-                vtime = probe["end"] + self.restart_penalty
-                continue
-
-    # ------------------------------------------------------------------
-    def _launch_phase(self, woven: type, ctor_args: tuple, ctor_kwargs: dict,
-                      entry: str, entry_args: tuple, config: ExecConfig,
-                      plan: AdaptationPlan, injector: FailureInjector,
-                      replay: ReplayState | None, start_vtime: float,
-                      probe: dict[str, float]) -> Any:
-        if config.mode.uses_cluster:
-            return self._launch_cluster(
-                woven, ctor_args, ctor_kwargs, entry, entry_args, config,
-                plan, injector, replay, start_vtime, probe)
-        return self._launch_local(
+        services = PhaseServices(
+            machine=self.machine, log=self.log, store=self.store,
+            policy=self.policy, ckpt_strategy=self.ckpt_strategy,
+            advisor=advisor)
+        driver = PhaseDriver(services, self.ledger, registry=self.registry,
+                             restart_penalty=self.restart_penalty,
+                             adapt_penalty=self.adapt_penalty)
+        return driver.drive(
             woven, ctor_args, ctor_kwargs, entry, entry_args, config,
-            plan, injector, replay, start_vtime, probe)
-
-    def _make_context(self, woven: type, config: ExecConfig,
-                      plan: AdaptationPlan, injector: FailureInjector,
-                      replay: ReplayState | None, rankctx=None,
-                      team: ThreadTeam | None = None) -> ExecutionContext:
-        plugset: PlugSet = getattr(woven, "__pp_plugs__", PlugSet())
-        rep = None
-        if replay is not None:
-            # each rank/phase needs its own replay cursor over the shared
-            # snapshot (replay state is consumed as safe points pass).
-            rep = ReplayState(
-                target=replay.target,
-                snapshot=replay.snapshot
-                if (rankctx is None or rankctx.rank == 0) else None)
-        return ExecutionContext(
-            config=config, machine=self.machine, log=self.log,
-            store=self.store, policy=clone_policy(self.policy),
-            injector=injector, plan=plan, replay=rep,
-            safedata=plugset.safedata_fields(),
-            partitioned=plugset.partitioned_fields(),
-            ckpt_strategy=self.ckpt_strategy, rankctx=rankctx, team=team,
-            advisor=getattr(self, "_advisor", None))
-
-    def _launch_local(self, woven, ctor_args, ctor_kwargs, entry, entry_args,
-                      config, plan, injector, replay, start_vtime, probe):
-        """Sequential or shared-memory phase (single simulated node)."""
-        ctx = self._make_context(woven, config, plan, injector, replay)
-        if ctx.team is not None:
-            ctx.team.clock.advance_to(start_vtime)
-        else:
-            ctx._seq_clock.advance_to(start_vtime)
-        try:
-            instance = woven(*ctor_args, **ctor_kwargs)
-            ctx.bind(instance)
-            value = getattr(instance, entry)(*entry_args)
-            ctx.ckpt_flush_barrier()  # pay the in-flight write remainder
-            return value
-        finally:
-            probe["end"] = max(probe["end"], ctx.max_time())
-
-    def _launch_cluster(self, woven, ctor_args, ctor_kwargs, entry,
-                        entry_args, config, plan, injector, replay,
-                        start_vtime, probe):
-        """Distributed or hybrid phase on a fresh SimCluster."""
-        cluster = SimCluster(config.nranks, self.machine, self.log,
-                             start_time=start_vtime)
-
-        def rank_entry():
-            rankctx = current_rank()
-            team = None
-            if config.mode is Mode.HYBRID:
-                team = ThreadTeam(self.machine, size=config.workers,
-                                  log=self.log)
-                team.clock.advance_to(rankctx.clock.now)
-            ctx = self._make_context(woven, config, plan, injector, replay,
-                                     rankctx=rankctx, team=team)
-            instance = woven(*ctor_args, **ctor_kwargs)
-            ctx.bind(instance)
-            result = getattr(instance, entry)(*entry_args)
-            if team is not None:
-                rankctx.clock.advance_to(team.clock.now)
-            if rankctx.rank == 0:
-                ctx.ckpt_flush_barrier()
-            return result
-
-        try:
-            results = cluster.run(rank_entry)
-            return results[0]
-        except RankFailure as rf:
-            # unwrap the interesting causes gathered across ranks
-            causes = [e.cause for e in cluster.errors]
-            exits = [c for c in causes if isinstance(c, AdaptationExit)]
-            with_snap = [c for c in exits if c.snapshot is not None]
-            if with_snap:
-                raise with_snap[0] from None
-            if exits:
-                raise exits[0] from None
-            fails = [c for c in causes if isinstance(c, InjectedFailure)]
-            if fails:
-                raise fails[0] from None
-            raise rf
-        finally:
-            probe["end"] = max(probe["end"], cluster.max_time)
+            plan, injector, replay, auto_recover=auto_recover,
+            max_restarts=max_restarts, recover_config=recover_config)

@@ -107,6 +107,18 @@ class SimCluster:
         finally:
             _bind(None)
 
+    def shutdown(self) -> None:
+        """Release cluster resources once the ranks are joined; idempotent.
+
+        Closes the mailboxes and aborts the cluster barrier so nothing
+        can block on this cluster's communicator again.  Execution
+        backends call it in their ``finally`` after :meth:`run` returns
+        or raises — by then every rank thread has been joined, so for
+        cooperative unwinds (which must keep the communicator up while
+        late ranks drain) this runs strictly after the draining is done.
+        """
+        self.comm.close()
+
     def _pick_error(self) -> RankFailure:
         """Prefer the root-cause failure over shutdown fallout in peers."""
         for e in self._errors:

@@ -1,0 +1,179 @@
+"""The execution-backend contract: one interface behind every launch.
+
+The paper's central claim is that one woven code base runs unchanged
+across sequential, shared-memory, distributed and hybrid executions.
+This module is the seam that makes the claim structural rather than
+incidental: a phase launch is described by a :class:`PhaseSpec`, executed
+by an :class:`ExecutionBackend`, and summarised as a :class:`PhaseOutcome`
+— the :class:`~repro.exec.driver.PhaseDriver` never branches on *how* a
+configuration executes.
+
+A backend owns, for the duration of one :meth:`ExecutionBackend.launch`:
+
+* **context creation** — building the
+  :class:`~repro.core.context.ExecutionContext` with the backend's
+  :class:`~repro.core.modes.Capabilities` (which coordination services
+  the woven code may use) and the per-rank replay cursor;
+* **clock seeding** — phase clocks start at the previous phase's end
+  time so virtual time is continuous across adaptations and restarts;
+* **worker lifecycle** — thread teams / rank threads are created inside
+  ``launch`` and joined before it returns, on every path (including
+  unwinds), so adaptations and restarts cannot leak workers;
+* **unwind / error normalisation** — the two cooperative unwind signals
+  (:class:`~repro.core.errors.AdaptationExit`,
+  :class:`~repro.ckpt.failure.InjectedFailure`) are caught — unwrapped
+  from :class:`~repro.dsm.simcluster.RankFailure` where necessary — and
+  returned as a ``PhaseOutcome`` carrying the phase's end time, so the
+  driver sees one normal-form result for every backend.  Anything else
+  propagates as a genuine error.
+
+Adding a new execution substrate (multiprocess, real MPI, ...) means
+writing one backend module and registering it — ``core/`` is untouched.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ckpt.failure import FailureInjector, InjectedFailure
+from repro.ckpt.policy import CheckpointPolicy
+from repro.ckpt.replay import ReplayState
+from repro.ckpt.store import CheckpointStore
+from repro.core.adaptation import AdaptationPlan
+from repro.core.errors import AdaptationExit
+from repro.core.modes import Capabilities, ExecConfig
+from repro.core.plugs import PlugSet
+from repro.util.events import EventLog
+from repro.vtime.machine import MachineModel
+
+#: phase outcome statuses (match :class:`repro.core.runtime.PhaseReport`).
+PHASE_COMPLETED = "completed"
+PHASE_ADAPTED = "adapted"
+PHASE_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Everything one launch segment needs: the *what* of a phase.
+
+    Immutable by design — a relaunch after an adaptation or restart is a
+    fresh spec, never a mutated one.
+    """
+
+    woven: type
+    ctor_args: tuple = ()
+    ctor_kwargs: dict = field(default_factory=dict)
+    entry: str = "run"
+    entry_args: tuple = ()
+    config: ExecConfig = field(default_factory=ExecConfig.sequential)
+    plan: AdaptationPlan = field(default_factory=AdaptationPlan)
+    injector: FailureInjector = field(default_factory=FailureInjector)
+    replay: ReplayState | None = None
+    start_vtime: float = 0.0
+
+
+@dataclass
+class PhaseOutcome:
+    """Normal form of one phase: how it ended, when, and with what.
+
+    ``status`` is one of :data:`PHASE_COMPLETED` / :data:`PHASE_ADAPTED`
+    / :data:`PHASE_FAILED`; exactly one of ``value`` / ``adaptation`` /
+    ``failure`` is meaningful for each.  ``end_vtime`` is always valid —
+    backends measure it on unwind paths too, which is what keeps virtual
+    time continuous across reshapes and recoveries.
+    """
+
+    status: str
+    end_vtime: float
+    value: Any = None
+    adaptation: AdaptationExit | None = None
+    failure: InjectedFailure | None = None
+
+
+@dataclass
+class PhaseServices:
+    """Runtime-owned collaborators a backend launches phases against."""
+
+    machine: MachineModel
+    log: EventLog
+    store: CheckpointStore | None
+    policy: CheckpointPolicy
+    ckpt_strategy: str
+    advisor: Any = None
+
+
+class ExecutionBackend(ABC):
+    """One way of executing a phase of a woven application.
+
+    Stateless with respect to any particular run: the same backend
+    instance serves every runtime that resolves it, with all per-run
+    state carried by the :class:`PhaseSpec` / :class:`PhaseServices`
+    pair.  Subclasses implement :meth:`launch` and declare their
+    :meth:`capabilities`.
+    """
+
+    #: registry name; must be unique within a registry.
+    name: str = "abstract"
+
+    @abstractmethod
+    def capabilities(self, config: ExecConfig) -> Capabilities:
+        """Coordination services the context may rely on under this
+        backend for the given configuration."""
+
+    @abstractmethod
+    def launch(self, spec: PhaseSpec, services: PhaseServices
+               ) -> PhaseOutcome:
+        """Execute one phase to completion, adaptation or failure.
+
+        Must return a :class:`PhaseOutcome` for the three normal phase
+        ends and re-raise anything else; must join every worker it
+        created before returning, on every path.
+        """
+
+    # ------------------------------------------------------------------
+    # shared helpers for concrete backends
+    # ------------------------------------------------------------------
+    def make_context(self, spec: PhaseSpec, services: PhaseServices,
+                     rankctx=None, team=None):
+        """Build the phase's :class:`ExecutionContext`.
+
+        Each rank/phase gets its own replay cursor over the shared
+        snapshot (replay state is consumed as safe points pass); only
+        member 0 carries the snapshot payload.
+        """
+        from repro.core.context import ExecutionContext, clone_policy
+
+        plugset: PlugSet = getattr(spec.woven, "__pp_plugs__", PlugSet())
+        rep = None
+        if spec.replay is not None:
+            rep = ReplayState(
+                target=spec.replay.target,
+                snapshot=spec.replay.snapshot
+                if (rankctx is None or rankctx.rank == 0) else None)
+        return ExecutionContext(
+            config=spec.config, machine=services.machine, log=services.log,
+            store=services.store, policy=clone_policy(services.policy),
+            injector=spec.injector, plan=spec.plan, replay=rep,
+            safedata=plugset.safedata_fields(),
+            partitioned=plugset.partitioned_fields(),
+            ckpt_strategy=services.ckpt_strategy, rankctx=rankctx, team=team,
+            advisor=services.advisor,
+            caps=self.capabilities(spec.config))
+
+    def run_entry(self, ctx, spec: PhaseSpec) -> Any:
+        """Instantiate the woven class, bind it, and call the entry."""
+        instance = spec.woven(*spec.ctor_args, **spec.ctor_kwargs)
+        ctx.bind(instance)
+        return getattr(instance, spec.entry)(*spec.entry_args)
+
+    @staticmethod
+    def normalise_unwind(exc: BaseException, end_vtime: float
+                         ) -> PhaseOutcome | None:
+        """Map a cooperative unwind to its outcome; ``None`` otherwise."""
+        if isinstance(exc, AdaptationExit):
+            return PhaseOutcome(PHASE_ADAPTED, end_vtime, adaptation=exc)
+        if isinstance(exc, InjectedFailure):
+            return PhaseOutcome(PHASE_FAILED, end_vtime, failure=exc)
+        return None

@@ -1,0 +1,96 @@
+"""Distributed execution: SPMD ranks on a simulated cluster."""
+
+from __future__ import annotations
+
+from repro.ckpt.failure import InjectedFailure
+from repro.core.errors import AdaptationExit
+from repro.core.modes import Capabilities, ExecConfig
+from repro.dsm.comm import current_rank
+from repro.dsm.simcluster import RankFailure, SimCluster
+from repro.exec.base import (
+    PHASE_COMPLETED,
+    ExecutionBackend,
+    PhaseOutcome,
+    PhaseServices,
+    PhaseSpec,
+)
+from repro.smp.team import ThreadTeam
+
+
+class SimClusterBackend(ExecutionBackend):
+    """MPI-like execution over a fresh :class:`SimCluster` per phase.
+
+    The backend owns the cluster's lifecycle (rank threads are joined by
+    ``SimCluster.run``; the communicator is torn down in the ``finally``)
+    and normalises rank failures: a :class:`RankFailure` is unwrapped to
+    the most informative cooperative unwind gathered across ranks — an
+    :class:`AdaptationExit` carrying the snapshot beats one without,
+    which beats an :class:`InjectedFailure` — so the driver never sees
+    rank-level wreckage when a normal unwind caused it.
+    """
+
+    name = "simcluster"
+
+    def capabilities(self, config: ExecConfig) -> Capabilities:
+        return Capabilities(rank_collectives=True)
+
+    # hook: HybridBackend equips each rank with a thread team.
+    def rank_team(self, spec: PhaseSpec,
+                  services: PhaseServices) -> ThreadTeam | None:
+        return None
+
+    def launch(self, spec: PhaseSpec, services: PhaseServices
+               ) -> PhaseOutcome:
+        cluster = SimCluster(spec.config.nranks, services.machine,
+                             services.log, start_time=spec.start_vtime)
+
+        def rank_entry():
+            rankctx = current_rank()
+            team = self.rank_team(spec, services)
+            try:
+                if team is not None:
+                    team.clock.advance_to(rankctx.clock.now)
+                ctx = self.make_context(spec, services, rankctx=rankctx,
+                                        team=team)
+                result = self.run_entry(ctx, spec)
+                if team is not None:
+                    rankctx.clock.advance_to(team.clock.now)
+                if rankctx.rank == 0:
+                    ctx.ckpt_flush_barrier()
+                return result
+            finally:
+                if team is not None:
+                    team.shutdown()
+
+        try:
+            results = cluster.run(rank_entry)
+            return PhaseOutcome(PHASE_COMPLETED, self._end(cluster, spec),
+                                value=results[0])
+        except RankFailure as rf:
+            cause = self._root_unwind(cluster, rf)
+            out = self.normalise_unwind(cause, self._end(cluster, spec))
+            if out is None:
+                raise
+            return out
+        finally:
+            cluster.shutdown()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _end(cluster: SimCluster, spec: PhaseSpec) -> float:
+        return max(spec.start_vtime, cluster.max_time)
+
+    @staticmethod
+    def _root_unwind(cluster: SimCluster, rf: RankFailure) -> BaseException:
+        """The most informative cause gathered across failed ranks."""
+        causes = [e.cause for e in cluster.errors]
+        exits = [c for c in causes if isinstance(c, AdaptationExit)]
+        with_snap = [c for c in exits if c.snapshot is not None]
+        if with_snap:
+            return with_snap[0]
+        if exits:
+            return exits[0]
+        fails = [c for c in causes if isinstance(c, InjectedFailure)]
+        if fails:
+            return fails[0]
+        return rf

@@ -1,0 +1,149 @@
+"""PhaseDriver: the mode-agnostic phase loop behind ``Runtime.run``.
+
+The driver owns the part of the paper's Figure 2 that is independent of
+*how* a phase executes: launch the current configuration through the
+backend the registry resolves for it, then react to the phase outcome —
+
+* **completed** — flush checkpoints, mark the ledger, return;
+* **adapted** — pay the live/restart transition cost, build the replay
+  state (in-memory snapshot for live adaptations, the checkpoint read
+  back from disk for restart-based ones) and relaunch in the new
+  configuration — which may name a different *backend*, not just a
+  different shape;
+* **failed** — with ``auto_recover``, restart from the newest durable
+  checkpoint, optionally in a different configuration (the paper's
+  Figure 6 experiment); otherwise re-raise with the ledger left
+  ``running`` so the next run replays.
+
+Because each relaunch resolves its backend afresh, the full Mode matrix
+(and any backend registered at run time) flows through the one loop —
+the driver contains no mode conditionals at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ckpt.replay import ReplayState
+from repro.ckpt.snapshot import SnapshotCorrupt
+from repro.core.adaptation import AdaptationRecord
+from repro.core.errors import WeaveError
+from repro.core.modes import ExecConfig
+from repro.exec.base import (
+    PHASE_ADAPTED,
+    PHASE_COMPLETED,
+    PhaseServices,
+    PhaseSpec,
+)
+from repro.exec.registry import BackendRegistry, default_registry
+
+
+class PhaseDriver:
+    """Drives one application run as a chain of backend launches."""
+
+    def __init__(self, services: PhaseServices, ledger,
+                 registry: BackendRegistry | None = None,
+                 restart_penalty: float = 0.02,
+                 adapt_penalty: float = 0.01) -> None:
+        self.services = services
+        self.ledger = ledger
+        self.registry = registry if registry is not None else default_registry()
+        self.restart_penalty = restart_penalty
+        self.adapt_penalty = adapt_penalty
+
+    # ------------------------------------------------------------------
+    def drive(self,
+              woven: type,
+              ctor_args: tuple,
+              ctor_kwargs: dict,
+              entry: str,
+              entry_args: tuple,
+              config: ExecConfig,
+              plan,
+              injector,
+              replay: ReplayState | None,
+              auto_recover: bool = False,
+              max_restarts: int = 8,
+              recover_config: Callable[[int], ExecConfig] | None = None):
+        from repro.core.runtime import PhaseReport, RunResult
+
+        services = self.services
+        store = services.store
+        vtime = 0.0
+        phases: list[PhaseReport] = []
+        adaptations: list[AdaptationRecord] = []
+        restarts = 0
+
+        while True:
+            self.ledger.mark_running()
+            backend = self.registry.resolve(config)
+            spec = PhaseSpec(
+                woven=woven, ctor_args=ctor_args, ctor_kwargs=ctor_kwargs,
+                entry=entry, entry_args=entry_args, config=config,
+                plan=plan, injector=injector, replay=replay,
+                start_vtime=vtime)
+            out = backend.launch(spec, services)
+
+            if out.status == PHASE_COMPLETED:
+                store.flush()  # all checkpoints durable before "done"
+                self.ledger.mark_completed()
+                phases.append(PhaseReport(config, vtime, out.end_vtime,
+                                          PHASE_COMPLETED))
+                return RunResult(value=out.value, vtime=out.end_vtime,
+                                 events=services.log, final_config=config,
+                                 phases=phases, restarts=restarts,
+                                 adaptations=adaptations)
+
+            if out.status == PHASE_ADAPTED:
+                ae = out.adaptation
+                phases.append(PhaseReport(config, vtime, out.end_vtime,
+                                          PHASE_ADAPTED))
+                step = ae.new_config
+                snap = ae.snapshot
+                if step.via_restart:
+                    store.flush()
+                    try:
+                        # the checkpoint at the exit point, regardless of
+                        # whether newer checkpoints exist on disk.
+                        disk = store.read(step.at)
+                    except (SnapshotCorrupt, OSError):
+                        raise WeaveError(
+                            "restart-based adaptation found no checkpoint "
+                            f"at safe point {step.at}") from ae
+                    disk.meta["from_disk"] = True
+                    snap = disk
+                    vtime = out.end_vtime + self.restart_penalty
+                else:
+                    vtime = out.end_vtime + self.adapt_penalty
+                adaptations.append(AdaptationRecord(
+                    at_count=step.at, from_config=config,
+                    to_config=step.config, via_restart=step.via_restart,
+                    vtime=vtime))
+                replay = ReplayState(target=step.at, snapshot=snap)
+                config = step.config
+                continue
+
+            # failed
+            fail = out.failure
+            phases.append(PhaseReport(config, vtime, out.end_vtime,
+                                      "failed"))
+            services.log.emit("failure", vtime=out.end_vtime,
+                              count=fail.safepoint)
+            # recovery (this run's or a later one's) must only ever see
+            # fully-written files.
+            store.flush()
+            if not auto_recover:
+                raise fail  # ledger stays "running": next run() replays
+            restarts += 1
+            if restarts > max_restarts:
+                raise fail
+            snap = store.read_latest()
+            if snap is not None:
+                snap.meta["from_disk"] = True
+                replay = ReplayState.from_snapshot(snap)
+            else:
+                replay = None  # no checkpoint: recompute from scratch
+            if recover_config is not None:
+                config = recover_config(restarts)
+            vtime = out.end_vtime + self.restart_penalty
+            continue

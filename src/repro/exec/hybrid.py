@@ -1,0 +1,29 @@
+"""Hybrid execution: aggregates of thread teams (one team per rank)."""
+
+from __future__ import annotations
+
+from repro.core.modes import Capabilities, ExecConfig
+from repro.exec.base import PhaseServices, PhaseSpec
+from repro.exec.cluster import SimClusterBackend
+from repro.smp.team import ThreadTeam
+
+
+class HybridBackend(SimClusterBackend):
+    """The composition: cluster ranks, each running a thread team.
+
+    Inherits the cluster lifecycle and failure normalisation; adds the
+    per-rank team (created in the rank entry, joined in its ``finally``
+    by the base class) and both capability families — the team protocol
+    runs per rank, with rank-level collectives run by one thread per
+    rank.
+    """
+
+    name = "hybrid"
+
+    def capabilities(self, config: ExecConfig) -> Capabilities:
+        return Capabilities(team_regions=True, rank_collectives=True)
+
+    def rank_team(self, spec: PhaseSpec,
+                  services: PhaseServices) -> ThreadTeam:
+        return ThreadTeam(services.machine, size=spec.config.workers,
+                          log=services.log)

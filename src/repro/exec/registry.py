@@ -1,0 +1,142 @@
+"""Backend registry: how an :class:`ExecConfig` finds its launcher.
+
+Resolution order for a configuration:
+
+1. ``config.backend`` — an explicit registry *name* pins the launch to a
+   specific backend (an adaptation step can therefore reshape onto a
+   different backend, not just a different shape);
+2. otherwise the configuration's :class:`~repro.core.modes.Mode` selects
+   the backend registered as that mode's default.
+
+The process-wide :func:`default_registry` comes pre-populated with the
+four stock backends.  Registering a new backend is one call and touches
+nothing in ``core/``::
+
+    from repro.exec import register_backend
+    register_backend(MyMultiprocessBackend())          # by name only
+    register_backend(MyMpiBackend(), mode=Mode.DISTRIBUTED,
+                     replace=True)                     # new mode default
+
+Advisors and resource managers consult ``supports(mode)`` so adaptation
+ladders and Grid mapping policies only ever propose configurations that
+can actually be launched.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WeaveError
+from repro.core.modes import ExecConfig, Mode
+from repro.exec.base import ExecutionBackend
+
+
+class BackendRegistry:
+    """Named execution backends plus per-mode defaults."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, ExecutionBackend] = {}
+        self._by_mode: dict[Mode, ExecutionBackend] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, backend: ExecutionBackend, mode: Mode | None = None,
+                 replace: bool = False) -> ExecutionBackend:
+        """Add ``backend`` under its ``name``; optionally as a mode default.
+
+        Returns the backend (handy for chaining in tests).
+        """
+        name = backend.name
+        if not name or name == "abstract":
+            raise WeaveError("execution backends must define a name")
+        previous = self._by_name.get(name)
+        if previous is not None and not replace:
+            raise WeaveError(f"backend {name!r} is already registered "
+                             "(pass replace=True to override)")
+        self._by_name[name] = backend
+        if previous is not None:
+            # replacing a name must also replace any mode defaults bound
+            # to the old instance, or mode-based resolution would keep
+            # silently launching the replaced backend.
+            for m, b in list(self._by_mode.items()):
+                if b is previous:
+                    self._by_mode[m] = backend
+        if mode is not None:
+            if mode in self._by_mode and not replace:
+                raise WeaveError(f"mode {mode.value!r} already has a default "
+                                 "backend (pass replace=True to override)")
+            self._by_mode[mode] = backend
+        return backend
+
+    def unregister(self, name: str) -> None:
+        backend = self._by_name.pop(name, None)
+        if backend is None:
+            return
+        for mode, b in list(self._by_mode.items()):
+            if b is backend:
+                del self._by_mode[mode]
+
+    # ------------------------------------------------------------------
+    def resolve(self, config: ExecConfig) -> ExecutionBackend:
+        """The backend that launches ``config`` (name beats mode)."""
+        if config.backend is not None:
+            try:
+                return self._by_name[config.backend]
+            except KeyError:
+                raise WeaveError(
+                    f"no execution backend named {config.backend!r}; "
+                    f"registered: {sorted(self._by_name)}") from None
+        try:
+            return self._by_mode[config.mode]
+        except KeyError:
+            raise WeaveError(
+                f"no execution backend registered for mode "
+                f"{config.mode.value!r}") from None
+
+    def supports(self, mode: Mode) -> bool:
+        return mode in self._by_mode
+
+    def has(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def copy(self) -> "BackendRegistry":
+        """A detached registry with the same entries (test isolation)."""
+        out = BackendRegistry()
+        out._by_name = dict(self._by_name)
+        out._by_mode = dict(self._by_mode)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# the process-wide default registry
+# ---------------------------------------------------------------------------
+def build_default_registry() -> BackendRegistry:
+    """A fresh registry holding the four stock backends."""
+    from repro.exec.cluster import SimClusterBackend
+    from repro.exec.hybrid import HybridBackend
+    from repro.exec.sequential import SequentialBackend
+    from repro.exec.threads import ThreadTeamBackend
+
+    reg = BackendRegistry()
+    reg.register(SequentialBackend(), mode=Mode.SEQUENTIAL)
+    reg.register(ThreadTeamBackend(), mode=Mode.SHARED)
+    reg.register(SimClusterBackend(), mode=Mode.DISTRIBUTED)
+    reg.register(HybridBackend(), mode=Mode.HYBRID)
+    return reg
+
+
+_default: BackendRegistry | None = None
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide registry every :class:`Runtime` uses by default."""
+    global _default
+    if _default is None:
+        _default = build_default_registry()
+    return _default
+
+
+def register_backend(backend: ExecutionBackend, mode: Mode | None = None,
+                     replace: bool = False) -> ExecutionBackend:
+    """Register ``backend`` in the process-wide default registry."""
+    return default_registry().register(backend, mode=mode, replace=replace)

@@ -17,29 +17,48 @@ from dataclasses import dataclass
 
 from repro.ckpt.failure import FailureInjector
 from repro.core.adaptation import AdaptationPlan, AdaptStep
-from repro.core.modes import ExecConfig
+from repro.core.modes import ExecConfig, Mode
+from repro.exec.registry import BackendRegistry, default_registry
 from repro.grid.resources import ResourceTrace
 from repro.vtime.machine import MachineModel
 
 
 @dataclass(frozen=True)
 class MappingPolicy:
-    """Map an allocation of k processing elements to an ExecConfig."""
+    """Map an allocation of k processing elements to an ExecConfig.
+
+    Selection consults the execution-backend ``registry`` (default: the
+    process-wide one): a mode with no registered backend is skipped and
+    the policy degrades to the best launchable shape, so a deployment
+    that unregisters (say) the hybrid backend still maps every
+    allocation to something the PhaseDriver can actually run.
+    """
 
     machine: MachineModel
     allow_hybrid: bool = False
+    registry: BackendRegistry | None = None
+
+    def _registry(self) -> BackendRegistry:
+        return self.registry if self.registry is not None \
+            else default_registry()
 
     def config_for(self, pe: int) -> ExecConfig:
         if pe < 1:
             raise ValueError("allocation must be >= 1 PE")
+        reg = self._registry()
         cores = self.machine.cores_per_node
         if pe == 1:
             return ExecConfig.sequential()
-        if pe <= cores:
+        if pe <= cores and reg.supports(Mode.SHARED):
             return ExecConfig.shared(pe)
-        if self.allow_hybrid and pe % cores == 0:
+        if self.allow_hybrid and pe > cores and pe % cores == 0 \
+                and reg.supports(Mode.HYBRID):
             return ExecConfig.hybrid(pe // cores, cores)
-        return ExecConfig.distributed(pe)
+        if reg.supports(Mode.DISTRIBUTED):
+            return ExecConfig.distributed(pe)
+        if reg.supports(Mode.SHARED):  # degraded: cap at one node's team
+            return ExecConfig.shared(min(pe, cores))
+        return ExecConfig.sequential()
 
 
 class ResourceManager:

@@ -163,6 +163,42 @@ class ThreadTeam:
         return self._locks
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Join every spawned worker thread; best-effort and idempotent.
+
+        Execution backends own the team's lifecycle: they create it at
+        phase launch and call this in their ``finally``, so an unwind
+        (adaptation exit, failure, relaunch) can never leak parked or
+        replaying workers across phases.  ``run_region`` already joins
+        its workers on normal and error paths; this is the backstop that
+        makes the guarantee hold for *every* exit route — aborting an
+        in-flight barrier first so blocked members can unwind.
+
+        Never raises: it runs inside backend ``finally`` blocks, where an
+        exception would mask the phase's real outcome.  A worker that
+        outlives the join budget (e.g. parked on slow external I/O) is
+        reported via a ``team_shutdown_timeout`` event and left to its
+        daemon fate instead.
+        """
+        b = self._barrier
+        if b is not None:
+            b.abort()
+        for _ in range(3):
+            pending = [w.thread for w in self._workers
+                       if w.thread is not None and w.thread.is_alive()]
+            if not pending:
+                return
+            for th in pending:
+                th.join(timeout=5.0)
+        leftover = [w.thread.name for w in self._workers
+                    if w.thread is not None and w.thread.is_alive()]
+        if leftover:
+            self.log.emit("team_shutdown_timeout", vtime=self.clock.now,
+                          workers=leftover)
+
+    # ------------------------------------------------------------------
     # requests (thread-safe, may be called from any thread at any time)
     # ------------------------------------------------------------------
     def request(self, op: ResizeOp | CallbackOp) -> None:

@@ -1,0 +1,279 @@
+"""The pluggable execution-backend layer: registry, parity, lifecycle.
+
+The load-bearing guarantees of the exec package:
+
+* all four stock backends run the same woven app to bit-identical
+  results, with identical checkpoint contents at matching safe points;
+* virtual time is monotone across an adaptation chain that crosses
+  every backend;
+* backends own worker lifecycle — no team/rank threads survive a phase;
+* a fifth backend registered at run time (no ``core/`` changes) runs an
+  application end-to-end, resolved by name through ``ExecConfig``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
+from repro.apps.sor import SOR
+from repro.ckpt import EveryN
+from repro.core import (
+    AdaptStep,
+    AdaptationPlan,
+    Capabilities,
+    ExecConfig,
+    ExecutionContext,
+    Mode,
+    Runtime,
+    WeaveError,
+    plug,
+)
+from repro.core.advisor import SelfAdaptationAdvisor
+from repro.exec import (
+    BackendRegistry,
+    HybridBackend,
+    SequentialBackend,
+    SimClusterBackend,
+    ThreadTeamBackend,
+    build_default_registry,
+    default_registry,
+)
+from repro.grid.manager import MappingPolicy
+from repro.vtime import MachineModel
+
+MACHINE = MachineModel(nodes=2, cores_per_node=4)
+N, ITERS = 40, 12
+REF = SOR(n=N, iterations=ITERS).execute()
+WOVEN = plug(SOR, SOR_ADAPTIVE)
+
+ALL_CONFIGS = [
+    ExecConfig.sequential(),
+    ExecConfig.shared(3),
+    ExecConfig.distributed(3),
+    ExecConfig.hybrid(2, 2),
+]
+
+
+def run_sor(tmp_path, config, tag, **kw):
+    rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / tag,
+                 policy=kw.pop("policy", None))
+    res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                 entry="execute", config=config, fresh=True, **kw)
+    return rt, res
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_default_registry_covers_all_modes(self):
+        reg = default_registry()
+        assert all(reg.supports(m) for m in Mode)
+        assert isinstance(reg.resolve(ExecConfig.sequential()),
+                          SequentialBackend)
+        assert isinstance(reg.resolve(ExecConfig.shared(2)),
+                          ThreadTeamBackend)
+        resolved = reg.resolve(ExecConfig.distributed(2))
+        assert isinstance(resolved, SimClusterBackend)
+        assert not isinstance(resolved, HybridBackend)
+        assert isinstance(reg.resolve(ExecConfig.hybrid(2, 2)),
+                          HybridBackend)
+
+    def test_name_resolution_beats_mode(self):
+        reg = build_default_registry()
+        cfg = ExecConfig.sequential().with_backend("threads")
+        assert isinstance(reg.resolve(cfg), ThreadTeamBackend)
+
+    def test_unknown_backend_name_rejected(self):
+        reg = build_default_registry()
+        with pytest.raises(WeaveError, match="no execution backend named"):
+            reg.resolve(ExecConfig.sequential().with_backend("nope"))
+
+    def test_unsupported_mode_rejected(self):
+        reg = build_default_registry()
+        reg.unregister("hybrid")
+        assert not reg.supports(Mode.HYBRID)
+        with pytest.raises(WeaveError, match="no execution backend"):
+            reg.resolve(ExecConfig.hybrid(2, 2))
+
+    def test_duplicate_name_needs_replace(self):
+        reg = build_default_registry()
+        with pytest.raises(WeaveError, match="already registered"):
+            reg.register(SequentialBackend())
+        reg.register(SequentialBackend(), replace=True)
+
+    def test_replace_by_name_updates_mode_defaults(self):
+        reg = build_default_registry()
+        patched = ThreadTeamBackend()
+        reg.register(patched, replace=True)  # same name "threads"
+        assert reg.resolve(ExecConfig.shared(2)) is patched
+
+    def test_capability_declarations(self):
+        assert SequentialBackend().capabilities(ExecConfig.sequential()) \
+            == Capabilities()
+        assert ThreadTeamBackend().capabilities(ExecConfig.shared(2)) \
+            == Capabilities(team_regions=True)
+        assert SimClusterBackend().capabilities(ExecConfig.distributed(2)) \
+            == Capabilities(rank_collectives=True)
+        assert HybridBackend().capabilities(ExecConfig.hybrid(2, 2)) \
+            == Capabilities(team_regions=True, rank_collectives=True)
+
+    def test_context_defaults_caps_from_mode(self):
+        ctx = ExecutionContext(ExecConfig.sequential())
+        assert ctx.caps == Capabilities()
+        assert not ctx.distributed
+        ctx = ExecutionContext(ExecConfig.shared(2))
+        assert ctx.caps.team_regions and ctx.team is not None
+
+
+# ---------------------------------------------------------------------------
+# parity across backends
+# ---------------------------------------------------------------------------
+class TestBackendParity:
+    def test_bit_identical_results(self, tmp_path):
+        for config in ALL_CONFIGS:
+            _, res = run_sor(tmp_path, config, f"par-{config.mode.value}")
+            assert res.value == REF, config
+
+    def test_identical_checkpoints_at_matching_safepoints(self, tmp_path):
+        """The master checkpoint format is mode-independent: at the same
+        safe point every backend must write byte-identical field data."""
+        stores = {}
+        for config in ALL_CONFIGS:
+            rt, res = run_sor(tmp_path, config, f"ck-{config.mode.value}",
+                              policy=EveryN(4))
+            assert res.value == REF
+            stores[config.mode] = rt.store
+        counts = stores[Mode.SEQUENTIAL].counts()
+        assert counts, "no checkpoints taken"
+        for count in counts:
+            blobs = {m: s.read(count).field_blobs()
+                     for m, s in stores.items()}
+            ref = blobs[Mode.SEQUENTIAL]
+            for mode, b in blobs.items():
+                assert b == ref, f"checkpoint {count} differs in {mode}"
+
+    def test_adaptation_chain_monotone_vtime(self, tmp_path):
+        """One run crossing all four backends: correct result, monotone
+        virtual time phase to phase and adaptation to adaptation."""
+        plan = AdaptationPlan([
+            AdaptStep(at=3, config=ExecConfig.shared(3)),
+            AdaptStep(at=6, config=ExecConfig.distributed(3)),
+            AdaptStep(at=9, config=ExecConfig.hybrid(2, 2)),
+        ])
+        _, res = run_sor(tmp_path, ExecConfig.sequential(), "chain",
+                         plan=plan)
+        assert res.value == REF
+        assert [a.to_config.mode for a in res.adaptations] == \
+            [Mode.SHARED, Mode.DISTRIBUTED, Mode.HYBRID]
+        assert len(res.phases) == 4
+        for ph in res.phases:
+            assert ph.end_vtime >= ph.start_vtime
+        for a, b in zip(res.phases, res.phases[1:]):
+            assert a.end_vtime <= b.start_vtime
+        vts = [a.vtime for a in res.adaptations]
+        assert vts == sorted(vts)
+        assert res.vtime >= res.phases[-1].start_vtime
+
+    def test_no_leaked_workers_after_adaptation_chain(self, tmp_path):
+        """Backends own worker lifecycle: after a run that created thread
+        teams and cluster ranks in every phase, none survive."""
+        plan = AdaptationPlan([
+            AdaptStep(at=3, config=ExecConfig.hybrid(2, 2)),
+            AdaptStep(at=6, config=ExecConfig.shared(4)),
+            AdaptStep(at=9, config=ExecConfig.distributed(3)),
+        ])
+        _, res = run_sor(tmp_path, ExecConfig.shared(2), "leak", plan=plan)
+        assert res.value == REF
+        stray = [t.name for t in threading.enumerate()
+                 if t.name.startswith(("team-w", "rank-"))]
+        assert stray == [], f"leaked worker threads: {stray}"
+
+
+# ---------------------------------------------------------------------------
+# a fifth backend, registered at run time, no core/ changes
+# ---------------------------------------------------------------------------
+class CountingBackend(SequentialBackend):
+    """Example drop-in backend: sequential semantics plus launch stats."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.launches = 0
+
+    def launch(self, spec, services):
+        self.launches += 1
+        return super().launch(spec, services)
+
+
+class TestFifthBackend:
+    def test_runs_app_end_to_end_by_name(self, tmp_path):
+        reg = build_default_registry()
+        backend = reg.register(CountingBackend())
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "fifth",
+                     registry=reg)
+        res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute",
+                     config=ExecConfig.sequential().with_backend("counting"),
+                     fresh=True)
+        assert res.value == REF
+        assert backend.launches == 1
+        assert res.final_config.backend == "counting"
+
+    def test_adaptation_step_can_pick_a_backend(self, tmp_path):
+        """An AdaptStep can reshape onto a named backend — adaptation
+        decisions choose backends, not just shapes."""
+        reg = build_default_registry()
+        backend = reg.register(CountingBackend())
+        plan = AdaptationPlan([AdaptStep(
+            at=4, config=ExecConfig.sequential().with_backend("counting"))])
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "adapt",
+                     registry=reg)
+        res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.shared(2),
+                     plan=plan, fresh=True)
+        assert res.value == REF
+        assert backend.launches == 1
+        assert res.adaptations[0].to_config.backend == "counting"
+
+
+# ---------------------------------------------------------------------------
+# registry-aware selection policies
+# ---------------------------------------------------------------------------
+class TestRegistryAwareSelection:
+    def test_advisor_ladder_skips_unregistered_modes(self):
+        reg = build_default_registry()
+        reg.unregister("simcluster")
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=16, registry=reg)
+        assert all(c.mode is not Mode.DISTRIBUTED for c in adv.ladder)
+        assert any(c.mode is Mode.SHARED for c in adv.ladder)
+
+    def test_runtime_syncs_advisor_to_its_registry(self, tmp_path):
+        """A default-constructed advisor is re-anchored on the runtime's
+        own registry, so it never proposes an unlaunchable config."""
+        reg = build_default_registry()
+        reg.unregister("threads")
+        reg.unregister("simcluster")
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=8, window=3)
+        assert any(c.mode is Mode.SHARED for c in adv.ladder)  # global view
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "sync",
+                     registry=reg)
+        res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute", config=ExecConfig.sequential(),
+                     advisor=adv, fresh=True)
+        assert res.value == REF
+        assert adv.registry is reg
+        assert all(c == ExecConfig.sequential() for c in adv.ladder)
+
+    def test_mapping_policy_degrades_without_backends(self):
+        reg = build_default_registry()
+        full = MappingPolicy(MACHINE, allow_hybrid=True, registry=reg)
+        assert full.config_for(8) == ExecConfig.hybrid(2, 4)
+        reg.unregister("hybrid")
+        assert full.config_for(8) == ExecConfig.distributed(8)
+        reg.unregister("simcluster")
+        assert full.config_for(8) == ExecConfig.shared(4)  # capped at node
+        reg.unregister("threads")
+        assert full.config_for(8) == ExecConfig.sequential()
