@@ -4,12 +4,26 @@ Paper: running SOR with an over-decomposition factor ``of`` (processes
 per processing element) on a 16-processor machine; of=16 (256 processes)
 takes the execution from ~5 s to ~15 s, i.e. a ~3x blow-up — the
 motivation for reshaping the parallelism instead of over-decomposing.
+
+The variant below (Figure 8b) swaps the simulated substrate for real
+ones: the same woven SOR and MolDyn kernels on GIL-bound thread teams
+versus the multiprocessing backend's process ranks with shared-memory
+fields, measured in *wall* seconds — the many-core motivation (see
+PAPERS.md) for having a substrate with true parallel speedup behind the
+same backend seam.
 """
 
 from __future__ import annotations
 
+import time
+
 from paper_report import FigureReport
+from repro.apps.moldyn import MolDyn
+from repro.apps.plugs.moldyn_plugs import MOLDYN_CKPT, MOLDYN_DIST
+from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
+from repro.apps.sor import SOR
 from repro.baselines import run_overdecomposed_sor
+from repro.core import ExecConfig, Runtime, plug
 from repro.vtime.machine import MachineModel
 
 #: the paper's "16-processor machine".
@@ -49,3 +63,53 @@ def test_fig8_overdecomposition(benchmark, tmp_path):
     # paper shape 2: of=16 lands near the paper's ~3x (broad band)
     slowdown = times[-1] / times[0]
     assert 2.0 <= slowdown <= 6.0, f"of=16 slowdown {slowdown:.2f}"
+
+
+# ---------------------------------------------------------------------------
+# Figure 8b — real substrates: thread teams vs multiprocessing ranks
+# ---------------------------------------------------------------------------
+#: workloads sized so one cell runs in roughly a second on CI hardware.
+WORKLOADS = {
+    "sor": (SOR, SOR_ADAPTIVE, {"n": 256, "iterations": 40}),
+    "moldyn": (MolDyn, MOLDYN_DIST + MOLDYN_CKPT, {"n": 64, "steps": 8}),
+}
+PES = [1, 2, 4]
+
+
+def _wall_run(woven, kwargs, config, tmp_path, tag):
+    rt = Runtime(machine=MACHINE_16, ckpt_dir=tmp_path / tag)
+    t0 = time.perf_counter()
+    res = rt.run(woven, ctor_kwargs=kwargs, entry="execute",
+                 config=config, fresh=True)
+    return time.perf_counter() - t0, res.value
+
+
+def test_fig8b_threads_vs_multiproc(benchmark, tmp_path):
+    report = FigureReport(
+        "Figure 8b", "Thread team vs multiprocessing ranks "
+        "(wall seconds, same woven kernels)",
+        ["kernel", "pe", "threads_s", "multiproc_s", "multiproc/threads"])
+
+    def experiment():
+        values = {}
+        for kernel, (cls, plugs, kwargs) in WORKLOADS.items():
+            woven = plug(cls, plugs)
+            for pe in PES:
+                tcfg = (ExecConfig.sequential() if pe == 1
+                        else ExecConfig.shared(pe))
+                mcfg = ExecConfig.distributed(pe).with_backend("multiproc")
+                tw, tv = _wall_run(woven, kwargs, tcfg, tmp_path,
+                                   f"{kernel}-t{pe}")
+                mw, mv = _wall_run(woven, kwargs, mcfg, tmp_path,
+                                   f"{kernel}-m{pe}")
+                report.add(kernel, pe, tw, mw, mw / tw)
+                values.setdefault(kernel, set()).update({tv, mv})
+        return values
+
+    values = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report.emit(benchmark)
+
+    # wall-clock ratios are host property, not asserted; correctness is:
+    # every substrate and width must produce the identical result.
+    for kernel, vals in values.items():
+        assert len(vals) == 1, f"{kernel} diverged across substrates: {vals}"

@@ -55,6 +55,27 @@ class FailureInjector:
             self.fail_at = None
             self._fired = False
 
+    def mark_fired(self) -> None:
+        """Record that an armed failure fired in another process.
+
+        Worker processes mutate their own *copy* of the injector; the
+        multiprocessing backend calls this on the parent's instance when
+        a rank reports an injected failure, so recovery relaunches do
+        not re-fire a one-shot injection forever.
+        """
+        with self._lock:
+            self._fired = True
+
+    # -- pickling (the lock is process-local state) ---------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def check(self, count: int, rank: int | None = None) -> None:
         """Raise :class:`InjectedFailure` if the armed point is reached."""
         with self._lock:

@@ -1,0 +1,167 @@
+"""Cross-process checkpoint funnel: worker writes through the master store.
+
+Worker processes must not write checkpoint files themselves: the master
+:class:`~repro.ckpt.store.CheckpointStore` carries state that has to
+stay consistent across phases — incremental delta baselines, adaptive
+anchor policies, async-writer queues, byte accounting — and it lives in
+the parent process, where the :class:`~repro.exec.driver.PhaseDriver`
+reads checkpoints back for restarts and adaptations.
+
+So checkpoint traffic is funnelled: a worker-side :class:`FunnelStore`
+(the ``store`` its :class:`~repro.core.context.ExecutionContext` sees)
+ships each snapshot over a request queue and blocks on a per-rank ack;
+the parent-side :class:`CheckpointFunnel` drains requests on a thread
+and performs the real ``write``/``flush`` against the master store (or
+its per-rank shard sub-store for ``STRATEGY_LOCAL``), acking the bytes
+written so the worker's virtual-time accounting matches what a
+single-process run would charge.  Restart and adaptation chains then
+work identically under every backend: the bytes on disk are produced by
+the same store object either way.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.ckpt.snapshot import KIND_FULL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ckpt.snapshot import Snapshot
+    from repro.ckpt.store import CheckpointStore
+
+_OP_WRITE = "write"
+_OP_FLUSH = "flush"
+_OP_STOP = "stop"
+
+
+@dataclass
+class _WriterShim:
+    """Enough of ``AsyncCheckpointWriter`` for the cost model's view."""
+
+    depth: int
+
+
+class CheckpointFunnel:
+    """Parent side: drains worker checkpoint requests into the store."""
+
+    def __init__(self, store: "CheckpointStore", mpctx, nranks: int) -> None:
+        self.store = store
+        self.requests = mpctx.Queue()
+        self.acks = [mpctx.Queue() for _ in range(nranks)]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def client(self, rank: int) -> "FunnelStore":
+        """The store stand-in to hand to worker ``rank``."""
+        return FunnelStore(
+            rank=rank, requests=self.requests, ack=self.acks[rank],
+            is_async=self.store.is_async,
+            depth=self.store.writer.depth if self.store.is_async else 0)
+
+    def start(self) -> None:
+        """Begin serving; call *after* worker processes are spawned so a
+        fork cannot duplicate the drain thread into a child."""
+        self._thread = threading.Thread(target=self._serve, daemon=True,
+                                        name="ckpt-funnel")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving once every worker has exited; idempotent."""
+        if self._thread is None:
+            return
+        self.requests.put((_OP_STOP, 0, None, None))
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        while True:
+            try:
+                op, rank, shard_rank, payload = self.requests.get(timeout=600.0)
+            except _queue.Empty:  # orphaned funnel: give up quietly
+                return
+            if op == _OP_STOP:
+                return
+            try:
+                if op == _OP_WRITE:
+                    target = (self.store if shard_rank is None
+                              else self.store.shard(shard_rank))
+                    target.write(payload)
+                    reply = ("ok", target.last_write_nbytes,
+                             target.last_write_kind)
+                elif op == _OP_FLUSH:
+                    self.store.flush()
+                    reply = ("ok", 0, KIND_FULL)
+                else:
+                    reply = ("error", f"unknown funnel op {op!r}", None)
+            except Exception:  # noqa: BLE001 - worker must not hang on us
+                reply = ("error", traceback.format_exc(), None)
+            self.acks[rank].put(reply)
+
+
+class FunnelStore:
+    """Worker side: the minimal ``CheckpointStore`` surface a context uses.
+
+    ``write``/``flush`` round-trip through the parent; ``shard(rank)``
+    returns a view whose writes land in the master store's shard
+    sub-store.  Reads are parent-only by design — the driver performs
+    them — so they raise here.
+    """
+
+    def __init__(self, rank: int, requests, ack, is_async: bool,
+                 depth: int, shard_rank: int | None = None) -> None:
+        self.rank = rank
+        self._requests = requests
+        self._ack = ack
+        self._shard_rank = shard_rank
+        # shard sub-stores are synchronous in the master implementation;
+        # mirror that so the worker's cost accounting branches match.
+        self._is_async = is_async and shard_rank is None
+        self.writer = _WriterShim(depth) if self._is_async else None
+        self.last_write_nbytes = 0
+        self.last_write_kind = KIND_FULL
+
+    # ------------------------------------------------------------------
+    @property
+    def is_async(self) -> bool:
+        return self._is_async
+
+    def shard(self, rank: int) -> "FunnelStore":
+        if self._shard_rank is not None:
+            raise ValueError("shard stores cannot be sharded again")
+        return FunnelStore(rank=self.rank, requests=self._requests,
+                           ack=self._ack, is_async=False, depth=0,
+                           shard_rank=rank)
+
+    # ------------------------------------------------------------------
+    def _rpc(self, op: str, payload) -> tuple[int, str]:
+        self._requests.put((op, self.rank, self._shard_rank, payload))
+        status, a, b = self._ack.get(timeout=120.0)
+        if status != "ok":
+            raise RuntimeError(f"checkpoint funnel failed in parent:\n{a}")
+        return a, b
+
+    def write(self, snap: "Snapshot") -> None:
+        nbytes, kind = self._rpc(_OP_WRITE, snap)
+        self.last_write_nbytes = nbytes
+        self.last_write_kind = kind
+
+    def flush(self) -> None:
+        self._rpc(_OP_FLUSH, None)
+
+    # ------------------------------------------------------------------
+    def read(self, count: int):
+        raise NotImplementedError(
+            "checkpoint reads happen in the parent process (PhaseDriver)")
+
+    def read_latest(self):
+        raise NotImplementedError(
+            "checkpoint reads happen in the parent process (PhaseDriver)")
+
+    def counts(self) -> list[int]:
+        raise NotImplementedError(
+            "checkpoint listings happen in the parent process (PhaseDriver)")

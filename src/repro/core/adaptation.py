@@ -69,6 +69,16 @@ class AdaptationPlan:
                 return s
         return None
 
+    # -- pickling (the lock is process-local state) ---------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # -- asynchronous requests ------------------------------------------
     def request(self, config: ExecConfig) -> None:
         with self._lock:

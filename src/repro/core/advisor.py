@@ -25,7 +25,7 @@ consensus round the paper does not describe).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.modes import ExecConfig, Mode
 from repro.vtime.machine import MachineModel

@@ -44,7 +44,6 @@ from repro.dsm.partition import (
     gather_inplace,
     scatter_inplace,
 )
-from repro.smp.sched import Schedule
 from repro.smp.team import ThreadTeam, current_worker
 from repro.util.events import EventLog
 from repro.vtime.clock import VClock
@@ -96,6 +95,11 @@ class ExecutionContext:
         self.partitioned = dict(partitioned or {})
         self.ckpt_strategy = ckpt_strategy
         self.rankctx = rankctx
+        #: names of partitioned fields the backend actually placed in
+        #: cross-process shared memory (set by shared-field backends
+        #: after instantiation; always a subset of ``partitioned``).
+        #: Data movement for these degenerates to synchronisation.
+        self.shared_fields: set[str] = set()
         #: optional SelfAdaptationAdvisor (sequential/shared phases only).
         self.advisor = advisor
         self.counter = SafePointCounter(start_count)
@@ -289,12 +293,33 @@ class ExecutionContext:
         else:
             op()
 
+    def _shared(self, field: str) -> bool:
+        """Is ``field`` one physically shared copy across ranks?"""
+        return self.caps.shared_fields and field in self.shared_fields
+
+    def _shared_sync(self, kind: str, field: str) -> None:
+        """Data movement on a shared field: synchronisation only.
+
+        Every rank reads and writes the same pages, so scatter / gather
+        / halo reduce to a barrier that orders the writes of the
+        producing ranks before the reads of the consuming ones.
+        """
+        def _do() -> None:
+            self.rankctx.comm.barrier()
+            self.log.emit(kind, vtime=self.rankctx.clock.now,
+                          rank=self.rank, field=field, shared=True)
+
+        self._rank_comm_guarded(_do)
+
     def scatter_field(self, field: str) -> None:
         if not (self.distributed):
             return
         if self.replay_active():
             return  # data will come from the snapshot at the restore point
         part = self._part(field)
+        if self._shared(field):
+            self._shared_sync("scatter", field)
+            return
 
         def _do() -> None:
             arr = getattr(self.instance, field)
@@ -310,6 +335,9 @@ class ExecutionContext:
         if self.replay_active():
             return
         part = self._part(field)
+        if self._shared(field):
+            self._shared_sync("gather", field)
+            return
 
         def _do() -> None:
             arr = getattr(self.instance, field)
@@ -326,6 +354,9 @@ class ExecutionContext:
         if self.replay_active():
             return
         part = self._part(field)
+        if self._shared(field):
+            self._shared_sync("allgather", field)
+            return
 
         def _do() -> None:
             comm = self.rankctx.comm
@@ -348,6 +379,11 @@ class ExecutionContext:
         if not isinstance(part.layout, BlockLayout) or part.layout.halo < 1:
             raise WeaveError(
                 f"HaloExchange needs BlockLayout(halo>=1) on {field!r}")
+        if self._shared(field):
+            # neighbour planes are the same physical pages: the exchange
+            # is purely the ordering barrier.
+            self._shared_sync("halo", field)
+            return
 
         def _do() -> None:
             exchange_halo(self.rankctx.comm, getattr(self.instance, field),
@@ -439,17 +475,29 @@ class ExecutionContext:
         to restart the application on any of the execution modes".
         All ranks return a Snapshot object but only member 0's holds data.
         """
+        shared_involved = False
         if collect and self.distributed:
+            shared_involved = any(self._shared(f) for f in self.safedata)
+            if shared_involved:
+                # fence writers: every rank's updates to the shared
+                # pages must land before member 0 copies them out.
+                self.rankctx.comm.barrier()
             for f in self.safedata:
                 part = self.partitioned.get(f)
-                if part is not None and not part.whole_at_safepoints:
+                if part is not None and not part.whole_at_safepoints \
+                        and not self._shared(f):
                     gather_inplace(self.rankctx.comm,
                                    getattr(self.instance, f),
                                    part.layout, root=0)
-        return Snapshot.capture(
+        snap = Snapshot.capture(
             self.instance, self.safedata, count,
             mode=self.mode.value, nranks=self.nranks,
             workers=self.config.workers)
+        if shared_involved:
+            # fence readers: no rank resumes mutating the shared pages
+            # until member 0's capture (an immediate encode) is done.
+            self.rankctx.comm.barrier()
+        return snap
 
     def _take_checkpoint(self, count: int) -> None:
         if self.store is None:
@@ -558,8 +606,10 @@ class ExecutionContext:
                 if snap.meta.get("from_disk"):
                     self.clock().charge_io(self.machine.disk.read_cost(
                         snap.meta.get("disk_nbytes", snap.nbytes)))
-                snap.restore_into(self.instance)
+                self._restore_into_root(snap)
             for f in self.safedata:
+                if self._shared(f):
+                    continue  # one shared copy, restored in place above
                 part = self.partitioned.get(f)
                 if part is not None and not part.whole_at_safepoints:
                     scatter_inplace(comm, getattr(self.instance, f),
@@ -567,6 +617,10 @@ class ExecutionContext:
                 else:
                     setattr(self.instance, f,
                             comm.bcast(getattr(self.instance, f), root=0))
+            if any(self._shared(f) for f in self.safedata):
+                # every rank waits for member 0's in-place refresh of the
+                # shared pages before touching them again.
+                comm.barrier()
         else:
             if snap is None:
                 return  # pure call-stack replay: data is already in place
@@ -577,6 +631,20 @@ class ExecutionContext:
         self.log.emit("restore", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes if snap else 0,
                       load_seconds=self.clock().now - t0)
+
+    def _restore_into_root(self, snap: Snapshot) -> None:
+        """Member 0's restore, keeping shared views bound.
+
+        A shared field's array *object* is the mapping onto the shared
+        pages: rebinding it (plain ``restore_into``) would silently
+        detach member 0 from its peers, so saved data is copied into the
+        existing view instead.
+        """
+        for name, value in snap.fields.items():
+            if self._shared(name):
+                getattr(self.instance, name)[...] = value
+            else:
+                setattr(self.instance, name, value)
 
     # ------------------------------------------------------------------
     # adaptation

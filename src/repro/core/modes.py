@@ -29,10 +29,17 @@ class Capabilities:
       barriers, work sharing, team locks, single/master arbitration.
     * ``rank_collectives`` — rank-level communication: cluster barrier,
       scatter/gather/halo/allreduce, master-rank collection.
+    * ``shared_fields`` — partitioned fields live in memory physically
+      shared by all ranks (e.g. ``multiprocessing.shared_memory``
+      segments): scatter/gather/halo data movement degenerates to
+      synchronisation barriers, and checkpoint capture/restore touches
+      the one shared copy in place instead of moving partitions over
+      the wire.
     """
 
     team_regions: bool = False
     rank_collectives: bool = False
+    shared_fields: bool = False
 
 
 class Mode(enum.Enum):

@@ -45,7 +45,6 @@ from repro.core.templates import (
     ScatterBefore,
     SingleMethod,
     SynchronizedMethod,
-    Template,
     ThreadLocal,
 )
 from repro.smp.team import current_worker

@@ -21,7 +21,7 @@ Checkpoint templates (Section IV.A): ``SafeData``, ``SafePointAfter`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.dsm.partition import Layout

@@ -1,0 +1,173 @@
+"""Process-safe mailboxes: the multiprocessing transport for collectives.
+
+The in-process :class:`~repro.dsm.mailbox.Mailbox` gives every simulated
+rank selective receive over ``(source, tag)``; this module provides the
+same contract across *process* boundaries so the whole
+:class:`~repro.dsm.comm.Communicator` algorithm layer (point-to-point,
+scatter/gather, halo exchange, reductions) runs unchanged over real
+processes — the collectives are bridged, not reimplemented.
+
+Transport: one ``multiprocessing.Queue`` per rank.  Any process may put
+into any rank's queue; only the owning rank gets from its own.  Because
+queue order is arrival order, not ``(source, tag)`` order, the owner
+keeps a local pending buffer for envelopes that did not match an
+outstanding selective receive.
+
+:class:`ProcCommunicator` subclasses :class:`Communicator`, swapping the
+transport and replacing the shared-clock barrier with a message-based
+one (gather arrival times at rank 0, broadcast the epoch) — in separate
+address spaces there is no clock list to ``sync_max`` over.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+from typing import TYPE_CHECKING
+
+from repro.dsm.comm import TAG_COLL, Communicator
+from repro.dsm.mailbox import ANY_SOURCE, ANY_TAG, MailboxClosed, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vtime.machine import MachineModel
+
+#: collective-plumbing tags private to the process transport.
+_TAG_BARRIER_IN = TAG_COLL + 20
+_TAG_BARRIER_OUT = TAG_COLL + 21
+
+
+class ProcessMailbox:
+    """Selective receive for one rank over a ``multiprocessing.Queue``.
+
+    ``put`` may be called from any process; ``get``/``poll`` only from
+    the owning rank's process (the pending buffer is process-local).
+    """
+
+    def __init__(self, rank: int, channel) -> None:
+        self.rank = rank
+        self._channel = channel
+        self._pending: list[Message] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def put(self, msg: Message) -> None:
+        if self._closed:
+            raise MailboxClosed(f"mailbox {self.rank} is closed")
+        self._channel.put(msg)
+
+    @staticmethod
+    def _matches(m: Message, source: int, tag: int) -> bool:
+        return ((source == ANY_SOURCE or m.src == source)
+                and (tag == ANY_TAG or m.tag == tag))
+
+    def get(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+            timeout: float | None = 60.0) -> Message:
+        """Block until a matching envelope arrives and remove it.
+
+        Per-(source, tag) FIFO order is preserved: non-matching arrivals
+        are buffered in order and re-scanned first on the next call.
+        """
+        for i, m in enumerate(self._pending):
+            if self._matches(m, source, tag):
+                return self._pending.pop(i)
+        while True:
+            if self._closed:
+                raise MailboxClosed(f"mailbox {self.rank} is closed")
+            try:
+                m = self._channel.get(timeout=timeout)
+            except _queue.Empty:
+                raise TimeoutError(
+                    f"rank {self.rank}: no message from src={source} "
+                    f"tag={tag} after {timeout}s (pending: "
+                    f"{[(p.src, p.tag) for p in self._pending]})") from None
+            if self._matches(m, source, tag):
+                return m
+            self._pending.append(m)
+
+    def poll(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking probe for a matching envelope."""
+        if any(self._matches(m, source, tag) for m in self._pending):
+            return True
+        while True:
+            try:
+                m = self._channel.get_nowait()
+            except _queue.Empty:
+                return False
+            self._pending.append(m)
+            if self._matches(m, source, tag):
+                return True
+
+    def close(self) -> None:
+        """Refuse further traffic; drop whatever the feeder still holds.
+
+        Called on the unwind path only — by then the phase outcome is
+        decided and in-flight envelopes are dead letters.  Cancelling the
+        feeder join keeps a worker's exit from blocking on a queue the
+        parent will never drain again.
+        """
+        self._closed = True
+        try:
+            self._channel.cancel_join_thread()
+        except (AttributeError, OSError):
+            pass
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class ProcCommunicator(Communicator):
+    """The MPI-like collective layer over per-rank process mailboxes.
+
+    Inherits every algorithm (send/recv costs, flat-tree collectives,
+    the in-place partition movements consume it unchanged); overrides
+    construction (no shared clock list) and the barrier (message-based
+    epoch agreement instead of ``VClock.sync_max`` across threads).
+    """
+
+    def __init__(self, rank: int, nranks: int, machine: "MachineModel",
+                 channels) -> None:
+        if len(channels) != nranks:
+            raise ValueError("one channel per rank required")
+        # deliberately NOT calling super().__init__: there is no clock
+        # list or thread barrier to build in a per-process communicator.
+        self.nranks = nranks
+        self.machine = machine
+        self.mailboxes = [ProcessMailbox(r, ch)
+                          for r, ch in enumerate(channels)]
+        self._rank = rank
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Message-based barrier carrying the virtual-time epoch.
+
+        Rank 0 gathers every rank's arrival time, lifts the epoch to the
+        latest plus the machine's barrier cost, and broadcasts it; all
+        clocks advance to the common epoch, exactly as the shared-memory
+        implementation's ``sync_max`` does.
+        """
+        ctx = self._ctx()
+        if self.nranks == 1:
+            return
+        clk = ctx.clock
+        if ctx.rank == 0:
+            arrivals = [clk.now]
+            for src in range(1, self.nranks):
+                msg = self.mailboxes[0].get(source=src, tag=_TAG_BARRIER_IN)
+                arrivals.append(msg.payload)
+            epoch = max(arrivals) + self.machine.barrier_cost(self.nranks)
+            for r in range(1, self.nranks):
+                self.mailboxes[r].put(Message(
+                    src=0, dst=r, tag=_TAG_BARRIER_OUT, payload=epoch,
+                    nbytes=8, arrival=epoch))
+        else:
+            self.mailboxes[0].put(Message(
+                src=ctx.rank, dst=0, tag=_TAG_BARRIER_IN, payload=clk.now,
+                nbytes=8, arrival=clk.now))
+            epoch = self.mailboxes[ctx.rank].get(
+                source=0, tag=_TAG_BARRIER_OUT).payload
+        clk.advance_to(epoch)
+        clk.charge_comm(self.machine.oversub_epoch_cost(self.nranks))
+
+    def close(self) -> None:
+        """Close this process's endpoints (unwind path)."""
+        for mb in self.mailboxes:
+            mb.close()

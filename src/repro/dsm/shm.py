@@ -1,0 +1,227 @@
+"""Shared-memory segments: zero-copy partitioned fields across processes.
+
+The multiprocessing execution backend places each ``Partitioned`` field
+in one ``multiprocessing.shared_memory`` segment: the creating rank
+copies its constructor-initialised array in once, every rank maps a
+full-size numpy view onto the same physical pages, and from then on
+scatter / gather / halo data movement degenerates to synchronisation
+(see ``Capabilities.shared_fields``).  This module owns the segment
+lifecycle — allocate / attach / unlink — and the numpy views, with
+explicit name tracking so tests can assert that no ``/dev/shm`` entry
+outlives a launch.
+
+Ownership discipline (one unlinker, no resource-tracker noise):
+
+* worker processes *create* or *attach* segments but never unlink them;
+  both sides unregister from their process's ``resource_tracker``
+  immediately, so a worker exiting (cleanly or not) cannot trigger the
+  tracker's leak warnings or a premature unlink;
+* the parent (the execution backend) unlinks every segment of a launch
+  in its ``finally`` — by deterministic name, so it works even when a
+  worker died before reporting what it created.
+
+Segment names are ``ppshm-<launch id>-<field>``: deterministic given
+the launch id, which is what lets the parent compute the cleanup set
+without hearing back from any worker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from contextlib import contextmanager
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+#: distinctive prefix for every segment this package creates; the
+#: lifecycle tests scan ``/dev/shm`` for it.
+SHM_PREFIX = "ppshm"
+
+# ---------------------------------------------------------------------------
+# process-local name tracking (the test-visible lifecycle ledger)
+# ---------------------------------------------------------------------------
+_live_lock = threading.Lock()
+_live: set[str] = set()
+_launch_seq = itertools.count()
+#: serialises the resource-tracker monkeypatch: concurrent patchers
+#: would capture each other's no-op lambdas as "originals" and leave
+#: tracking disabled for the whole process.
+_tracker_patch_lock = threading.Lock()
+
+
+def live_segments() -> list[str]:
+    """Names of segments this process has created/attached and not yet
+    released — empty whenever no launch is in flight."""
+    with _live_lock:
+        return sorted(_live)
+
+
+def _track(name: str) -> None:
+    with _live_lock:
+        _live.add(name)
+
+
+def _untrack(name: str) -> None:
+    with _live_lock:
+        _live.discard(name)
+
+
+def new_launch_id() -> str:
+    """A name component unique to one phase launch of this process."""
+    return f"{os.getpid():x}-{next(_launch_seq):x}"
+
+
+def segment_name(launch_id: str, field: str) -> str:
+    return f"{SHM_PREFIX}-{launch_id}-{field}"
+
+
+@contextmanager
+def _no_resource_tracking():
+    """Keep this mapping out of the resource tracker's unlink chain.
+
+    ``SharedMemory`` registers every mapping with the process tree's
+    shared tracker, which (a) warns about "leaks" the parent cleans up
+    on purpose and (b) breaks on the interleaved register/unregister
+    traffic of several ranks mapping one segment.  Exactly one party
+    unlinks — the parent, by name — so worker mappings are simply never
+    registered.  (Python 3.13 exposes this as ``track=False``; this is
+    the portable equivalent for 3.10–3.12.)
+    """
+    with _tracker_patch_lock:
+        originals = resource_tracker.register, resource_tracker.unregister
+        resource_tracker.register = lambda *a, **k: None
+        resource_tracker.unregister = lambda *a, **k: None
+        try:
+            yield
+        finally:
+            resource_tracker.register, resource_tracker.unregister = \
+                originals
+
+
+class ShmSegment:
+    """One shared segment holding one numpy array."""
+
+    def __init__(self, name: str, shape: tuple, dtype,
+                 shm: shared_memory.SharedMemory) -> None:
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = shm
+        self._view: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def allocate(cls, name: str, shape: tuple, dtype) -> "ShmSegment":
+        """Create the segment (fails if the name already exists)."""
+        nbytes = max(1, int(np.dtype(dtype).itemsize
+                            * np.prod(shape, dtype=np.int64)))
+        with _no_resource_tracking():
+            shm = shared_memory.SharedMemory(create=True, size=nbytes,
+                                             name=name)
+        _track(name)
+        return cls(name, shape, dtype, shm)
+
+    @classmethod
+    def attach(cls, name: str, shape: tuple, dtype) -> "ShmSegment":
+        """Map an existing segment created by a peer."""
+        with _no_resource_tracking():
+            shm = shared_memory.SharedMemory(name=name)
+        _track(name)
+        return cls(name, shape, dtype, shm)
+
+    # ------------------------------------------------------------------
+    def ndarray(self) -> np.ndarray:
+        """The full-size array view onto the shared pages (cached: every
+        call returns the same object, so rebinding a field is stable)."""
+        if self._view is None:
+            self._view = np.ndarray(self.shape, dtype=self.dtype,
+                                    buffer=self._shm.buf)
+        return self._view
+
+    def close(self) -> None:
+        """Drop the mapping (not the segment); idempotent, best-effort.
+
+        A still-exported view makes the underlying ``memoryview``
+        un-releasable; the mapping then dies with the process, which is
+        fine — the *segment* is reclaimed by the parent's unlink either
+        way (POSIX allows unlink while mapped).
+        """
+        self._view = None
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # a live view still pins the buffer; process exit unmaps
+        _untrack(self.name)
+
+    def unlink(self) -> None:
+        """Remove the segment from the system; idempotent."""
+        self.close()
+        try:
+            with _no_resource_tracking():
+                self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def unlink_by_name(name: str) -> bool:
+    """Best-effort unlink of a segment this process never mapped.
+
+    The parent's crash-path cleanup: returns True when a segment was
+    actually removed, False when none existed.
+    """
+    try:
+        with _no_resource_tracking():
+            shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        _untrack(name)
+        return False
+    shm.close()
+    try:
+        with _no_resource_tracking():
+            shm.unlink()
+    except FileNotFoundError:
+        pass
+    _untrack(name)
+    return True
+
+
+class SegmentManager:
+    """The segments of one launch, keyed by field name.
+
+    Worker-side convenience over :class:`ShmSegment`: deterministic
+    names from the launch id, collective close.  The manager never
+    unlinks — that is the parent's job (`unlink_by_name` over the same
+    deterministic names).
+    """
+
+    def __init__(self, launch_id: str) -> None:
+        self.launch_id = launch_id
+        self._segments: dict[str, ShmSegment] = {}
+
+    # ------------------------------------------------------------------
+    def allocate(self, field: str, shape: tuple, dtype) -> ShmSegment:
+        seg = ShmSegment.allocate(segment_name(self.launch_id, field),
+                                  shape, dtype)
+        self._segments[field] = seg
+        return seg
+
+    def attach(self, field: str, shape: tuple, dtype) -> ShmSegment:
+        seg = ShmSegment.attach(segment_name(self.launch_id, field),
+                                shape, dtype)
+        self._segments[field] = seg
+        return seg
+
+    def get(self, field: str) -> ShmSegment | None:
+        return self._segments.get(field)
+
+    def fields(self) -> list[str]:
+        return sorted(self._segments)
+
+    def close_all(self) -> None:
+        for seg in self._segments.values():
+            seg.close()
+
+    def __len__(self) -> int:
+        return len(self._segments)

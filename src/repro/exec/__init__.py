@@ -23,6 +23,7 @@ from repro.exec.base import (
 from repro.exec.cluster import SimClusterBackend
 from repro.exec.driver import PhaseDriver
 from repro.exec.hybrid import HybridBackend
+from repro.exec.multiproc import MultiprocessBackend
 from repro.exec.registry import (
     BackendRegistry,
     build_default_registry,
@@ -36,6 +37,7 @@ __all__ = [
     "BackendRegistry",
     "ExecutionBackend",
     "HybridBackend",
+    "MultiprocessBackend",
     "PHASE_ADAPTED",
     "PHASE_COMPLETED",
     "PHASE_FAILED",

@@ -1,0 +1,448 @@
+"""Multiprocessing execution: real process ranks, shared-memory fields.
+
+The first backend whose ranks actually run in parallel: each rank is a
+``multiprocessing`` process (no GIL between ranks), partitioned fields
+live in ``multiprocessing.shared_memory`` segments every rank maps
+(:mod:`repro.dsm.shm`), and the rank collectives are bridged over
+process-safe mailboxes (:mod:`repro.dsm.procmail`) so the whole
+``Communicator`` algorithm layer runs unchanged.
+
+What stays in the parent, and why:
+
+* **the checkpoint store** — snapshots are funnelled to the master
+  :class:`~repro.ckpt.store.CheckpointStore`
+  (:mod:`repro.ckpt.funnel`), so delta baselines, adaptive anchors and
+  shard sub-stores keep their cross-phase state and the
+  :class:`~repro.exec.driver.PhaseDriver` restarts/adapts identically
+  to every other backend;
+* **segment unlinking** — workers create/attach but never unlink; the
+  parent removes every segment of the launch in its ``finally``, by
+  deterministic name, so a crashed rank cannot leak ``/dev/shm``
+  entries;
+* **unwind normalisation** — workers report their phase end as data
+  (completed / adapted / failed / error), the parent reconstructs the
+  most informative cooperative unwind across ranks (the same preference
+  order as :class:`~repro.exec.cluster.SimClusterBackend`) and returns
+  the one normal-form :class:`~repro.exec.base.PhaseOutcome`.
+
+Start method: ``fork`` where available (Linux; supports dynamically
+woven classes), else ``spawn`` — under ``spawn`` the woven class is
+shipped as ``(base class, plug set)`` and re-woven in the child, so the
+base class and its constructor arguments must be picklable/importable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as _queue
+import time
+import traceback
+
+import numpy as np
+
+from repro.ckpt.failure import InjectedFailure
+from repro.ckpt.funnel import CheckpointFunnel, FunnelStore
+from repro.core.errors import AdaptationExit
+from repro.core.modes import Capabilities, ExecConfig, Mode
+from repro.dsm import shm
+from repro.dsm.comm import RankContext, _bind
+from repro.dsm.procmail import ProcCommunicator
+from repro.dsm.simcluster import RankFailure
+from repro.exec.base import (
+    PHASE_COMPLETED,
+    ExecutionBackend,
+    PhaseOutcome,
+    PhaseServices,
+    PhaseSpec,
+)
+from repro.util.events import EventLog
+from repro.vtime.clock import VClock
+
+#: worker report statuses.
+_COMPLETED = "completed"
+_ADAPTED = "adapted"
+_FAILED = "failed"
+_ERROR = "error"
+
+#: once one rank reports a failure, how long its peers get to finish
+#: reporting before the parent terminates them (a rank-scoped failure
+#: leaves peers blocked in a collective that will never complete).
+_PEER_GRACE_SECONDS = 3.0
+
+#: marker for ranks the parent terminated as collateral of another
+#: rank's failure — never the root cause to raise.
+_TERMINATED_FALLOUT = "terminated: a peer rank failed first"
+
+
+def _preferred_start_method() -> str:
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _portable_woven(woven: type) -> tuple[type, object | None]:
+    """Ship a woven class as ``(base, plugset)`` when it is dynamic.
+
+    ``plug`` builds its subclass at run time, which pickles by reference
+    only in the process that built it; the base class plus the plug set
+    is portable and re-weaves to an identical class in the child.
+    """
+    base = getattr(woven, "__pp_base__", None)
+    if base is None:
+        return woven, None
+    return base, woven.__pp_plugs__
+
+
+class _ChildTask:
+    """Everything one worker process needs (picklable by construction)."""
+
+    def __init__(self, rank: int, spec: PhaseSpec, services: PhaseServices,
+                 backend: "MultiprocessBackend", channels, result_queue,
+                 store: FunnelStore, launch_id: str) -> None:
+        from dataclasses import replace
+
+        base, self.plugs = _portable_woven(spec.woven)
+        if self.plugs is not None:
+            # ship the importable base, not the dynamic subclass: under
+            # "spawn" the task is pickled, and the child re-weaves.
+            spec = replace(spec, woven=base)
+        if rank != 0 and spec.replay is not None \
+                and spec.replay.snapshot is not None:
+            # only member 0 restores from the snapshot payload
+            # (make_context nulls it for other ranks anyway); don't
+            # serialise it N times under "spawn".
+            from repro.ckpt.replay import ReplayState
+
+            spec = replace(spec, replay=ReplayState(
+                target=spec.replay.target, snapshot=None))
+        self.spec = spec
+        self.machine = services.machine
+        self.policy = services.policy
+        self.ckpt_strategy = services.ckpt_strategy
+        self.backend = backend
+        self.channels = channels
+        self.result_queue = result_queue
+        self.store = store
+        self.launch_id = launch_id
+
+    def rebuild_spec(self) -> PhaseSpec:
+        if self.plugs is None:
+            return self.spec
+        from dataclasses import replace
+
+        from repro.core.rewriter import plug
+
+        return replace(self.spec, woven=plug(self.spec.woven, self.plugs))
+
+
+def _place_shared_fields(ctx, instance, comm, launch_id: str
+                         ) -> shm.SegmentManager:
+    """Move every partitioned ndarray field into a shared segment.
+
+    Rank 0 allocates and seeds each segment from its constructor-built
+    array (the authoritative copy, matching scatter-from-root
+    semantics); the metadata broadcast orders creation before any
+    attach.  Every rank then rebinds the field to the shared view.
+
+    Fields declared ``whole_at_safepoints`` are deliberately left
+    private: that declaration means every member re-assembles and then
+    computes over the *whole* array each step (replicated whole-array
+    writes), which would race on aliased pages.  Only fields whose
+    writes stay inside the owner's partition (the ``ForMethod`` /
+    scatter / halo discipline) are safe to alias.
+    """
+    manager = shm.SegmentManager(launch_id)
+    rank = ctx.rank
+    fields = sorted(f for f, part in ctx.partitioned.items()
+                    if not part.whole_at_safepoints)
+    if rank == 0:
+        meta = {}
+        for f in fields:
+            arr = getattr(instance, f, None)
+            if not isinstance(arr, np.ndarray):
+                continue
+            seg = manager.allocate(f, arr.shape, arr.dtype)
+            view = seg.ndarray()
+            view[...] = arr
+            setattr(instance, f, view)
+            meta[f] = (arr.shape, arr.dtype.str)
+        if ctx.nranks > 1:
+            comm.bcast(meta, root=0)
+    else:
+        meta = comm.bcast(None, root=0)
+        for f, (shape, dtype) in meta.items():
+            seg = manager.attach(f, shape, dtype)
+            setattr(instance, f, seg.ndarray())
+    ctx.shared_fields = set(manager.fields()) if rank == 0 else set(meta)
+    return manager
+
+
+def _rank_main(rank: int, task: _ChildTask) -> None:
+    """One rank's life: context, shared fields, entry, one report."""
+    spec = task.rebuild_spec()
+    config = spec.config
+    machine = task.machine
+    log = EventLog()
+    services = PhaseServices(
+        machine=machine, log=log, store=task.store,
+        policy=task.policy, ckpt_strategy=task.ckpt_strategy, advisor=None)
+    clock = VClock(spec.start_vtime + machine.spawn_cost * rank)
+    clock.contention = machine.contention_factor(rank, config.nranks)
+    comm = ProcCommunicator(rank, config.nranks, machine, task.channels)
+    rankctx = RankContext(rank=rank, nranks=config.nranks, clock=clock,
+                          comm=comm)
+    _bind(rankctx)
+    manager: shm.SegmentManager | None = None
+    status, data = _ERROR, "rank reported nothing"
+    try:
+        ctx = task.backend.make_context(spec, services, rankctx=rankctx)
+        instance = spec.woven(*spec.ctor_args, **spec.ctor_kwargs)
+        manager = _place_shared_fields(ctx, instance, comm, task.launch_id)
+        ctx.bind(instance)
+        result = getattr(instance, spec.entry)(*spec.entry_args)
+        if rank == 0:
+            ctx.ckpt_flush_barrier()
+        status, data = _COMPLETED, result
+    except AdaptationExit as ae:
+        status, data = _ADAPTED, (ae.snapshot, ae.new_config)
+    except InjectedFailure as fail:
+        status, data = _FAILED, (fail.safepoint, fail.rank)
+    except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
+        status, data = _ERROR, traceback.format_exc()
+    finally:
+        _bind(None)
+        if manager is not None:
+            # release the views so the mappings can close; the instance
+            # is dead after this line on every path.
+            for f in manager.fields():
+                try:
+                    setattr(instance, f, None)
+                except Exception:  # noqa: BLE001 - cleanup must not mask
+                    pass
+            manager.close_all()
+        # NB: the communicator is deliberately NOT closed here.  Exit
+        # must wait for the queue feeders to flush: a peer may still be
+        # draining collective payloads this rank sent (member 0 gathers
+        # state during a cooperative unwind), and cancelling the feeder
+        # join would drop them.  The parent drains leftover channel
+        # traffic before joining, so a flushing exit cannot block.
+        task.result_queue.put(
+            (rank, status, data, clock.now, list(log)))
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """SPMD ranks as processes, partitioned fields in shared memory.
+
+    Honest capabilities: rank collectives yes (bridged over process
+    mailboxes), team regions no (a rank is one process, one line of
+    execution — pin ``HYBRID`` shapes to the simulated backends
+    instead), shared fields yes.
+    """
+
+    name = "multiproc"
+    #: modes this backend can launch when pinned by name (consulted by
+    #: ``BackendRegistry.supports`` / the advisor ladder).
+    modes = (Mode.DISTRIBUTED,)
+
+    def __init__(self, start_method: str | None = None,
+                 join_timeout: float = 120.0) -> None:
+        self.start_method = start_method or _preferred_start_method()
+        self.join_timeout = join_timeout
+
+    def capabilities(self, config: ExecConfig) -> Capabilities:
+        return Capabilities(rank_collectives=True, shared_fields=True)
+
+    # ------------------------------------------------------------------
+    def launch(self, spec: PhaseSpec, services: PhaseServices
+               ) -> PhaseOutcome:
+        n = spec.config.nranks
+        mpctx = mp.get_context(self.start_method)
+        launch_id = shm.new_launch_id()
+        channels = [mpctx.Queue() for _ in range(n)]
+        result_queue = mpctx.Queue()
+        funnel = CheckpointFunnel(services.store, mpctx, n)
+        procs: list = []
+        try:
+            for r in range(n):
+                task = _ChildTask(r, spec, services, self, channels,
+                                  result_queue, funnel.client(r), launch_id)
+                p = mpctx.Process(target=_rank_main, args=(r, task),
+                                  daemon=True, name=f"mp-rank-{r}")
+                procs.append(p)
+                p.start()
+            # serve checkpoints only after all forks: no duplicated thread.
+            funnel.start()
+            reports = self._collect(procs, result_queue, n)
+        finally:
+            # drain before joining: exiting workers block until their
+            # queue feeders flush, and nothing reads the rank channels
+            # any more once the phase outcome is decided.
+            self._drain(channels)
+            self._reap(procs)
+            funnel.stop()
+            self._drain(channels + [result_queue], close=True)
+            self._unlink_segments(spec, launch_id)
+        self._merge_events(services.log, reports)
+        end = max([spec.start_vtime]
+                  + [rep[3] for rep in reports.values() if rep[3] is not None])
+        if any(rep[1] == _FAILED for rep in reports.values()):
+            # workers fired their own *copies* of the injector; reflect
+            # it on the parent's so recovery does not re-inject forever.
+            # Keyed off the reports, not the outcome: a concurrent
+            # adaptation may outrank the failure, but the injection
+            # still happened (thread backends share the injector object
+            # and remember it the same way).
+            spec.injector.mark_fired()
+        return self._outcome(reports, n, end)
+
+    # ------------------------------------------------------------------
+    def _collect(self, procs, result_queue, n: int) -> dict:
+        """Gather one report per rank; cut stragglers loose on failure.
+
+        Cooperative unwinds arrive from every rank (plans and injectors
+        are evaluated locally at the same safe point).  A rank-scoped
+        failure or a crash leaves peers blocked in a collective, so once
+        a failure report (or a dead child without a report) shows up,
+        peers get a grace period and are then terminated.
+        """
+        reports: dict[int, tuple] = {}
+        deadline = time.monotonic() + self.join_timeout
+        failure_seen_at: float | None = None
+        while len(reports) < n:
+            try:
+                rep = result_queue.get(timeout=0.05)
+                reports[rep[0]] = rep
+                if rep[1] in (_FAILED, _ERROR) and failure_seen_at is None:
+                    failure_seen_at = time.monotonic()
+                continue
+            except _queue.Empty:
+                pass
+            now = time.monotonic()
+            dead = [r for r, p in enumerate(procs)
+                    if r not in reports and not p.is_alive()
+                    and p.exitcode is not None]
+            if dead:
+                # a rank can flush its report and exit between the poll
+                # above and the liveness scan: drain once more before
+                # declaring anyone dead-without-reporting.
+                try:
+                    while True:
+                        rep = result_queue.get_nowait()
+                        reports[rep[0]] = rep
+                        if rep[1] in (_FAILED, _ERROR) \
+                                and failure_seen_at is None:
+                            failure_seen_at = now
+                except _queue.Empty:
+                    pass
+            for r in dead:
+                if r not in reports:
+                    p = procs[r]
+                    reports[r] = (r, _ERROR,
+                                  f"rank {r} died with exit code "
+                                  f"{p.exitcode} before reporting",
+                                  None, [])
+                    if failure_seen_at is None:
+                        failure_seen_at = now
+            if failure_seen_at is not None \
+                    and now - failure_seen_at > _PEER_GRACE_SECONDS:
+                for r, p in enumerate(procs):
+                    if r not in reports:
+                        p.terminate()
+                        reports[r] = (r, _ERROR, _TERMINATED_FALLOUT,
+                                      None, [])
+                break
+            if now > deadline:
+                for r, p in enumerate(procs):
+                    if r not in reports:
+                        p.terminate()
+                        reports[r] = (r, _ERROR, f"rank {r} hung", None, [])
+                break
+        return reports
+
+    @staticmethod
+    def _reap(procs) -> None:
+        started = [p for p in procs if p.pid is not None]
+        for p in started:
+            p.join(timeout=10.0)
+        for p in started:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for p in started:
+            try:
+                p.close()
+            except ValueError:  # refused to die; leave it to daemon fate
+                pass
+
+    @staticmethod
+    def _drain(qs, close: bool = False) -> None:
+        """Empty leftover queue traffic so exiting feeders can flush.
+
+        ``close`` additionally releases the parent's queue handles —
+        only safe once every worker has been joined.
+        """
+        for q in qs:
+            try:
+                while True:
+                    q.get_nowait()
+            except (_queue.Empty, OSError, ValueError):
+                pass
+            if close:
+                try:
+                    q.close()
+                except (OSError, ValueError):
+                    pass
+
+    @staticmethod
+    def _unlink_segments(spec: PhaseSpec, launch_id: str) -> None:
+        """Remove every segment this launch can have created.
+
+        Deterministic names make this independent of worker reports, so
+        it covers crashed ranks too.
+        """
+        plugset = getattr(spec.woven, "__pp_plugs__", None)
+        fields = plugset.partitioned_fields() if plugset is not None else {}
+        for f in fields:
+            shm.unlink_by_name(shm.segment_name(launch_id, f))
+
+    @staticmethod
+    def _merge_events(log: EventLog, reports: dict) -> None:
+        """Interleave every rank's event stream into the runtime log by
+        virtual time (stable, so intra-rank order is preserved)."""
+        merged = sorted((ev for rep in reports.values() for ev in rep[4]),
+                        key=lambda ev: ev.vtime)
+        for ev in merged:
+            log.emit(ev.kind, vtime=ev.vtime, rank=ev.rank, **ev.data)
+
+    # ------------------------------------------------------------------
+    def _outcome(self, reports: dict, n: int, end: float) -> PhaseOutcome:
+        """The most informative phase end across ranks, normalised.
+
+        Preference order matches the simulated cluster: an adaptation
+        carrying the snapshot beats one without, which beats an injected
+        failure; anything else is genuine wreckage and raises.
+        """
+        by_status: dict[str, list] = {}
+        for r in sorted(reports):
+            rep = reports[r]
+            by_status.setdefault(rep[1], []).append(rep)
+        if len(by_status) == 1 and _COMPLETED in by_status:
+            value = reports[0][2] if 0 in reports else None
+            return PhaseOutcome(PHASE_COMPLETED, end, value=value)
+        adapted = by_status.get(_ADAPTED, [])
+        with_snap = [rep for rep in adapted if rep[2][0] is not None]
+        pick = with_snap[0] if with_snap else (adapted[0] if adapted else None)
+        if pick is not None:
+            snapshot, step = pick[2]
+            exc: BaseException = AdaptationExit(snapshot, step)
+        elif _FAILED in by_status:
+            safepoint, rank = by_status[_FAILED][0][2]
+            exc = InjectedFailure(safepoint, rank)
+        else:
+            errors = by_status[_ERROR]
+            # prefer the root cause over the shutdown fallout of peers
+            # the parent terminated because of it.
+            root = [rep for rep in errors if rep[2] != _TERMINATED_FALLOUT]
+            first = root[0] if root else errors[0]
+            raise RankFailure(first[0], RuntimeError(first[2]))
+        out = self.normalise_unwind(exc, end)
+        assert out is not None
+        return out

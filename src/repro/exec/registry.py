@@ -83,15 +83,32 @@ class BackendRegistry:
                 raise WeaveError(
                     f"no execution backend named {config.backend!r}; "
                     f"registered: {sorted(self._by_name)}") from None
-        try:
-            return self._by_mode[config.mode]
-        except KeyError:
+        backend = self._by_mode.get(config.mode)
+        if backend is None:
+            backend = self._named_for_mode(config.mode)
+        if backend is None:
             raise WeaveError(
                 f"no execution backend registered for mode "
-                f"{config.mode.value!r}") from None
+                f"{config.mode.value!r}")
+        return backend
+
+    def _named_for_mode(self, mode: Mode) -> ExecutionBackend | None:
+        """A named backend declaring ``mode`` launchable (stable pick)."""
+        for name in sorted(self._by_name):
+            if mode in self._by_name[name].modes:
+                return self._by_name[name]
+        return None
 
     def supports(self, mode: Mode) -> bool:
-        return mode in self._by_mode
+        """Can *some* registered backend launch ``mode``?
+
+        True for the mode's default and for any named backend declaring
+        the mode in its ``modes`` — so advisor ladders and mapping
+        policies keep proposing e.g. distributed shapes while an
+        alternative distributed backend (multiprocessing) is registered,
+        even with the stock one removed.
+        """
+        return mode in self._by_mode or self._named_for_mode(mode) is not None
 
     def has(self, name: str) -> bool:
         return name in self._by_name
@@ -111,9 +128,16 @@ class BackendRegistry:
 # the process-wide default registry
 # ---------------------------------------------------------------------------
 def build_default_registry() -> BackendRegistry:
-    """A fresh registry holding the four stock backends."""
+    """A fresh registry holding the five stock backends.
+
+    The simulated cluster stays the DISTRIBUTED default (virtual-time
+    fidelity); the real multiprocessing backend is registered by name —
+    ``ExecConfig.distributed(n).with_backend("multiproc")`` — and serves
+    as the distributed fallback when the simulated one is unregistered.
+    """
     from repro.exec.cluster import SimClusterBackend
     from repro.exec.hybrid import HybridBackend
+    from repro.exec.multiproc import MultiprocessBackend
     from repro.exec.sequential import SequentialBackend
     from repro.exec.threads import ThreadTeamBackend
 
@@ -122,6 +146,7 @@ def build_default_registry() -> BackendRegistry:
     reg.register(ThreadTeamBackend(), mode=Mode.SHARED)
     reg.register(SimClusterBackend(), mode=Mode.DISTRIBUTED)
     reg.register(HybridBackend(), mode=Mode.HYBRID)
+    reg.register(MultiprocessBackend())
     return reg
 
 

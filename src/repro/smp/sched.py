@@ -44,41 +44,115 @@ def static_slice(lo: int, hi: int, tid: int, nthreads: int) -> tuple[int, int]:
     return start, start + size
 
 
-class SharedLoop:
-    """Shared chunk cursor for dynamic/guided schedules."""
+#: virtual-clock gating: how long (wall seconds) one grab may wait for a
+#: virtually-slower contender before degrading to first-come handout —
+#: a liveness backstop, not a tuning knob.
+_GATE_WAIT_BUDGET = 1.0
+_GATE_POLL_SECONDS = 0.001
+#: clock comparisons tolerate float-summation noise.
+_GATE_EPSILON = 1e-12
 
-    __slots__ = ("_lock", "lo", "hi", "_next", "schedule", "chunk", "nthreads")
+
+class SharedLoop:
+    """Shared chunk cursor for dynamic/guided schedules.
+
+    When contenders register their virtual clocks, chunk handout is
+    *driven by virtual time*: a grab waits (briefly, in wall time) while
+    another registered contender's clock is behind the caller's, so the
+    virtually-least-loaded thread takes the next chunk — list scheduling
+    on the modelled machine.  Without the gate, handout order follows
+    host-thread racing (GIL slots, spawn latency), and the virtual
+    makespan of a dynamic schedule becomes an artefact of wall-clock
+    noise — the flakiness the schedule-ablation benchmark used to show.
+    Ungated grabs (no clock registered) keep the first-come behaviour.
+    """
+
+    __slots__ = ("_cond", "lo", "hi", "_next", "schedule", "chunk",
+                 "nthreads", "_clocks")
 
     def __init__(self, lo: int, hi: int, schedule: Schedule, chunk: int,
                  nthreads: int) -> None:
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
         self.lo = lo
         self.hi = hi
         self._next = lo
         self.schedule = schedule
         self.chunk = max(1, chunk)
         self.nthreads = max(1, nthreads)
+        self._clocks: dict[int, object] = {}
 
-    def grab(self) -> tuple[int, int] | None:
+    # ------------------------------------------------------------------
+    def register(self, clock) -> None:
+        """Enter ``clock`` as a contender (idempotent)."""
+        with self._cond:
+            self._clocks[id(clock)] = clock
+            self._cond.notify_all()
+
+    def deregister(self, clock) -> None:
+        """Withdraw a contender; waiters re-evaluate without it."""
+        with self._cond:
+            self._clocks.pop(id(clock), None)
+            self._cond.notify_all()
+
+    def _my_turn(self, clock, waited: float) -> bool:
+        """May ``clock`` take a chunk now?
+
+        Yes once every expected contender has registered and no other
+        registered clock is behind the caller's — or once the wall-clock
+        budget is spent (a contender died or stalled; degrade rather
+        than deadlock).
+        """
+        if waited >= _GATE_WAIT_BUDGET:
+            return True
+        if len(self._clocks) < self.nthreads:
+            return False
+        me = clock.now
+        others = [c.now for k, c in self._clocks.items() if k != id(clock)]
+        return not others or me <= min(others) + _GATE_EPSILON
+
+    def grab(self, clock=None) -> tuple[int, int] | None:
         """Take the next chunk, or ``None`` when the range is exhausted."""
-        with self._lock:
-            if self._next >= self.hi:
-                return None
-            if self.schedule is Schedule.GUIDED:
-                remaining = self.hi - self._next
-                size = max(self.chunk, remaining // (2 * self.nthreads))
-            else:
-                size = self.chunk
-            start = self._next
-            stop = min(self.hi, start + size)
-            self._next = stop
-            return start, stop
+        waited = 0.0
+        with self._cond:
+            while True:
+                if self._next >= self.hi:
+                    return None
+                if clock is None or self._my_turn(clock, waited):
+                    if self.schedule is Schedule.GUIDED:
+                        remaining = self.hi - self._next
+                        size = max(self.chunk,
+                                   remaining // (2 * self.nthreads))
+                    else:
+                        size = self.chunk
+                    start = self._next
+                    stop = min(self.hi, start + size)
+                    self._next = stop
+                    self._cond.notify_all()
+                    return start, stop
+                # clocks advance outside this lock (when a contender
+                # charges its finished chunk), so poll as well as wait.
+                if not self._cond.wait(_GATE_POLL_SECONDS):
+                    waited += _GATE_POLL_SECONDS
 
 
-def iter_chunks(loop: SharedLoop) -> Iterator[tuple[int, int]]:
-    """Iterate this thread's chunks of a shared loop until exhaustion."""
-    while True:
-        c = loop.grab()
-        if c is None:
-            return
-        yield c
+def iter_chunks(loop: SharedLoop, clock=None) -> Iterator[tuple[int, int]]:
+    """Iterate this thread's chunks of a shared loop until exhaustion.
+
+    With a ``clock``, grabs are virtual-time gated: the contender is
+    (re-)registered before its first grab — callers that know about all
+    contenders up front (the team) additionally register at call time,
+    since a generator's body only runs at first iteration — and
+    deregistered on every exit path (exhaustion, error, abandonment) so
+    peers never wait on a clock that stopped advancing.
+    """
+    try:
+        if clock is not None:
+            loop.register(clock)
+        while True:
+            c = loop.grab(clock)
+            if c is None:
+                return
+            yield c
+    finally:
+        if clock is not None:
+            loop.deregister(clock)

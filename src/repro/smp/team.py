@@ -360,7 +360,11 @@ class ThreadTeam:
             if loop is None or loop.lo != lo or loop.hi != hi:
                 loop = SharedLoop(lo, hi, schedule, chunk, nlive)
                 self._region.loops[seq] = loop
-        return iter_chunks(loop)
+        # register eagerly (at call time): grabs gate on every live
+        # member's virtual clock, so chunk handout follows modelled
+        # time, not host-thread racing.
+        loop.register(w.clock)
+        return iter_chunks(loop, w.clock)
 
     def single_claim(self, key: str) -> bool:
         """True iff the caller executes this occurrence of a single block."""

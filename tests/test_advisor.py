@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
 from repro.apps.sor import SOR
-from repro.core import ExecConfig, Mode, Runtime, plug
+from repro.core import ExecConfig, Runtime, plug
 from repro.core.advisor import SelfAdaptationAdvisor
 from repro.vtime import MachineModel
 

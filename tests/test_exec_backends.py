@@ -2,18 +2,21 @@
 
 The load-bearing guarantees of the exec package:
 
-* all four stock backends run the same woven app to bit-identical
-  results, with identical checkpoint contents at matching safe points;
+* all five stock backends — including the real multiprocessing one —
+  run the same woven app to bit-identical results, with identical
+  checkpoint contents at matching safe points;
 * virtual time is monotone across an adaptation chain that crosses
   every backend;
-* backends own worker lifecycle — no team/rank threads survive a phase;
-* a fifth backend registered at run time (no ``core/`` changes) runs an
+* backends own worker lifecycle — no team/rank threads, worker
+  processes or shared-memory segments survive a phase;
+* a backend registered at run time (no ``core/`` changes) runs an
   application end-to-end, resolved by name through ``ExecConfig``.
 """
 
+import multiprocessing
+import os
 import threading
 
-import numpy as np
 import pytest
 
 from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
@@ -31,9 +34,10 @@ from repro.core import (
     plug,
 )
 from repro.core.advisor import SelfAdaptationAdvisor
+from repro.dsm import shm
 from repro.exec import (
-    BackendRegistry,
     HybridBackend,
+    MultiprocessBackend,
     SequentialBackend,
     SimClusterBackend,
     ThreadTeamBackend,
@@ -48,11 +52,16 @@ N, ITERS = 40, 12
 REF = SOR(n=N, iterations=ITERS).execute()
 WOVEN = plug(SOR, SOR_ADAPTIVE)
 
+MULTIPROC = ExecConfig.distributed(3).with_backend("multiproc")
+
+#: (label, config) for every stock backend; labels key result dicts
+#: because two distributed configs share a Mode.
 ALL_CONFIGS = [
-    ExecConfig.sequential(),
-    ExecConfig.shared(3),
-    ExecConfig.distributed(3),
-    ExecConfig.hybrid(2, 2),
+    ("sequential", ExecConfig.sequential()),
+    ("threads", ExecConfig.shared(3)),
+    ("simcluster", ExecConfig.distributed(3)),
+    ("hybrid", ExecConfig.hybrid(2, 2)),
+    ("multiproc", MULTIPROC),
 ]
 
 
@@ -119,6 +128,33 @@ class TestRegistry:
             == Capabilities(rank_collectives=True)
         assert HybridBackend().capabilities(ExecConfig.hybrid(2, 2)) \
             == Capabilities(team_regions=True, rank_collectives=True)
+        # honest multiprocessing capabilities: collectives and shared
+        # fields yes, team regions no (one process = one line of
+        # execution).
+        assert MultiprocessBackend().capabilities(MULTIPROC) \
+            == Capabilities(rank_collectives=True, shared_fields=True)
+
+    def test_multiproc_registered_by_name_not_mode_default(self):
+        reg = build_default_registry()
+        assert reg.has("multiproc")
+        assert isinstance(reg.resolve(MULTIPROC), MultiprocessBackend)
+        # the simulated cluster stays the DISTRIBUTED default
+        assert isinstance(reg.resolve(ExecConfig.distributed(2)),
+                          SimClusterBackend)
+
+    def test_named_backend_keeps_mode_launchable(self):
+        """supports() and resolve() fall back to a named backend that
+        declares the mode, so unregistering the simulated cluster does
+        not strand distributed configurations."""
+        reg = build_default_registry()
+        reg.unregister("simcluster")
+        assert reg.supports(Mode.DISTRIBUTED)
+        assert isinstance(reg.resolve(ExecConfig.distributed(2)),
+                          MultiprocessBackend)
+        reg.unregister("multiproc")
+        assert not reg.supports(Mode.DISTRIBUTED)
+        with pytest.raises(WeaveError, match="no execution backend"):
+            reg.resolve(ExecConfig.distributed(2))
 
     def test_context_defaults_caps_from_mode(self):
         ctx = ExecutionContext(ExecConfig.sequential())
@@ -133,42 +169,45 @@ class TestRegistry:
 # ---------------------------------------------------------------------------
 class TestBackendParity:
     def test_bit_identical_results(self, tmp_path):
-        for config in ALL_CONFIGS:
-            _, res = run_sor(tmp_path, config, f"par-{config.mode.value}")
+        for label, config in ALL_CONFIGS:
+            _, res = run_sor(tmp_path, config, f"par-{label}")
             assert res.value == REF, config
 
     def test_identical_checkpoints_at_matching_safepoints(self, tmp_path):
         """The master checkpoint format is mode-independent: at the same
         safe point every backend must write byte-identical field data."""
         stores = {}
-        for config in ALL_CONFIGS:
-            rt, res = run_sor(tmp_path, config, f"ck-{config.mode.value}",
+        for label, config in ALL_CONFIGS:
+            rt, res = run_sor(tmp_path, config, f"ck-{label}",
                               policy=EveryN(4))
             assert res.value == REF
-            stores[config.mode] = rt.store
-        counts = stores[Mode.SEQUENTIAL].counts()
+            stores[label] = rt.store
+        counts = stores["sequential"].counts()
         assert counts, "no checkpoints taken"
         for count in counts:
-            blobs = {m: s.read(count).field_blobs()
-                     for m, s in stores.items()}
-            ref = blobs[Mode.SEQUENTIAL]
-            for mode, b in blobs.items():
-                assert b == ref, f"checkpoint {count} differs in {mode}"
+            blobs = {label: s.read(count).field_blobs()
+                     for label, s in stores.items()}
+            ref = blobs["sequential"]
+            for label, b in blobs.items():
+                assert b == ref, f"checkpoint {count} differs in {label}"
 
     def test_adaptation_chain_monotone_vtime(self, tmp_path):
-        """One run crossing all four backends: correct result, monotone
-        virtual time phase to phase and adaptation to adaptation."""
+        """One run crossing every backend — real processes included:
+        correct result, monotone virtual time phase to phase and
+        adaptation to adaptation."""
         plan = AdaptationPlan([
-            AdaptStep(at=3, config=ExecConfig.shared(3)),
-            AdaptStep(at=6, config=ExecConfig.distributed(3)),
+            AdaptStep(at=2, config=ExecConfig.shared(3)),
+            AdaptStep(at=4, config=ExecConfig.distributed(3)),
+            AdaptStep(at=6, config=MULTIPROC),
             AdaptStep(at=9, config=ExecConfig.hybrid(2, 2)),
         ])
         _, res = run_sor(tmp_path, ExecConfig.sequential(), "chain",
                          plan=plan)
         assert res.value == REF
         assert [a.to_config.mode for a in res.adaptations] == \
-            [Mode.SHARED, Mode.DISTRIBUTED, Mode.HYBRID]
-        assert len(res.phases) == 4
+            [Mode.SHARED, Mode.DISTRIBUTED, Mode.DISTRIBUTED, Mode.HYBRID]
+        assert res.adaptations[2].to_config.backend == "multiproc"
+        assert len(res.phases) == 5
         for ph in res.phases:
             assert ph.end_vtime >= ph.start_vtime
         for a, b in zip(res.phases, res.phases[1:]):
@@ -179,10 +218,12 @@ class TestBackendParity:
 
     def test_no_leaked_workers_after_adaptation_chain(self, tmp_path):
         """Backends own worker lifecycle: after a run that created thread
-        teams and cluster ranks in every phase, none survive."""
+        teams, cluster ranks and worker processes in every phase, none
+        survive — and no shared-memory segment outlives its launch."""
         plan = AdaptationPlan([
             AdaptStep(at=3, config=ExecConfig.hybrid(2, 2)),
-            AdaptStep(at=6, config=ExecConfig.shared(4)),
+            AdaptStep(at=5, config=MULTIPROC),
+            AdaptStep(at=7, config=ExecConfig.shared(4)),
             AdaptStep(at=9, config=ExecConfig.distributed(3)),
         ])
         _, res = run_sor(tmp_path, ExecConfig.shared(2), "leak", plan=plan)
@@ -190,10 +231,37 @@ class TestBackendParity:
         stray = [t.name for t in threading.enumerate()
                  if t.name.startswith(("team-w", "rank-"))]
         assert stray == [], f"leaked worker threads: {stray}"
+        procs = [p.name for p in multiprocessing.active_children()
+                 if p.name.startswith("mp-rank-")]
+        assert procs == [], f"leaked worker processes: {procs}"
+        assert shm.live_segments() == []
+        if os.path.isdir("/dev/shm"):
+            left = [f for f in os.listdir("/dev/shm")
+                    if f.startswith(shm.SHM_PREFIX)]
+            assert left == [], f"leaked /dev/shm segments: {left}"
+
+
+class TestMultiprocStartMethods:
+    def test_spawn_reweaves_dynamic_woven_class(self, tmp_path):
+        """Under "spawn" the task is pickled: the dynamic woven subclass
+        cannot travel, so the backend ships (base, plugset) and the
+        child re-weaves — results stay bit-identical."""
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        reg = build_default_registry()
+        reg.register(MultiprocessBackend(start_method="spawn"),
+                     replace=True)
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "spawn",
+                     registry=reg)
+        res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute",
+                     config=ExecConfig.distributed(2)
+                     .with_backend("multiproc"), fresh=True)
+        assert res.value == REF
 
 
 # ---------------------------------------------------------------------------
-# a fifth backend, registered at run time, no core/ changes
+# a backend registered at run time, no core/ changes
 # ---------------------------------------------------------------------------
 class CountingBackend(SequentialBackend):
     """Example drop-in backend: sequential semantics plus launch stats."""
@@ -246,9 +314,22 @@ class TestRegistryAwareSelection:
     def test_advisor_ladder_skips_unregistered_modes(self):
         reg = build_default_registry()
         reg.unregister("simcluster")
+        reg.unregister("multiproc")  # both distributed-capable backends
         adv = SelfAdaptationAdvisor(MACHINE, max_pe=16, registry=reg)
         assert all(c.mode is not Mode.DISTRIBUTED for c in adv.ladder)
         assert any(c.mode is Mode.SHARED for c in adv.ladder)
+
+    def test_advisor_ladder_proposes_multiproc_backed_distributed(self):
+        """With only the multiprocessing backend left for DISTRIBUTED,
+        the ladder still climbs into distributed shapes — and the
+        registry resolves them to real processes."""
+        reg = build_default_registry()
+        reg.unregister("simcluster")
+        adv = SelfAdaptationAdvisor(MACHINE, max_pe=16, registry=reg)
+        dist = [c for c in adv.ladder if c.mode is Mode.DISTRIBUTED]
+        assert dist, "ladder lost its distributed rungs"
+        assert all(isinstance(reg.resolve(c), MultiprocessBackend)
+                   for c in dist)
 
     def test_runtime_syncs_advisor_to_its_registry(self, tmp_path):
         """A default-constructed advisor is re-anchored on the runtime's
@@ -256,6 +337,7 @@ class TestRegistryAwareSelection:
         reg = build_default_registry()
         reg.unregister("threads")
         reg.unregister("simcluster")
+        reg.unregister("multiproc")
         adv = SelfAdaptationAdvisor(MACHINE, max_pe=8, window=3)
         assert any(c.mode is Mode.SHARED for c in adv.ladder)  # global view
         rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "sync",
@@ -274,6 +356,9 @@ class TestRegistryAwareSelection:
         reg.unregister("hybrid")
         assert full.config_for(8) == ExecConfig.distributed(8)
         reg.unregister("simcluster")
+        # the named multiprocessing backend keeps DISTRIBUTED launchable
+        assert full.config_for(8) == ExecConfig.distributed(8)
+        reg.unregister("multiproc")
         assert full.config_for(8) == ExecConfig.shared(4)  # capped at node
         reg.unregister("threads")
         assert full.config_for(8) == ExecConfig.sequential()

@@ -1,7 +1,7 @@
 """Tests for the grid substrate and the hand-written baselines."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.apps.sor import SOR

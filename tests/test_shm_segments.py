@@ -1,0 +1,128 @@
+"""Shared-memory segment lifecycle: allocate/attach/unlink, no leaks.
+
+The multiprocessing backend's contract with ``/dev/shm``: every segment
+a launch creates is gone when the launch is over — after clean exits,
+after rank failures (including rank-scoped ones that strand peers in
+collectives), and across PhaseDriver restart chains.  Leaks are
+asserted through the package's own ``SharedMemory`` name tracking plus
+a direct ``/dev/shm`` scan where the platform provides one.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
+from repro.apps.sor import SOR
+from repro.ckpt import EveryN
+from repro.ckpt.failure import FailureInjector, InjectedFailure
+from repro.core import ExecConfig, Runtime, plug
+from repro.dsm import shm
+from repro.vtime import MachineModel
+
+MACHINE = MachineModel(nodes=2, cores_per_node=4)
+N, ITERS = 24, 10
+REF = SOR(n=N, iterations=ITERS).execute()
+WOVEN = plug(SOR, SOR_ADAPTIVE)
+MULTIPROC = ExecConfig.distributed(3).with_backend("multiproc")
+
+
+def assert_no_segments():
+    assert shm.live_segments() == []
+    if os.path.isdir("/dev/shm"):
+        left = [f for f in os.listdir("/dev/shm")
+                if f.startswith(shm.SHM_PREFIX)]
+        assert left == [], f"leaked /dev/shm segments: {left}"
+
+
+def run(tmp_path, tag, **kw):
+    rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / tag,
+                 policy=kw.pop("policy", EveryN(3)))
+    return rt, rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                      entry="execute", config=MULTIPROC, fresh=True, **kw)
+
+
+# ---------------------------------------------------------------------------
+# the segment manager itself
+# ---------------------------------------------------------------------------
+class TestSegmentPrimitives:
+    def test_allocate_view_attach_roundtrip(self):
+        launch = shm.new_launch_id()
+        owner = shm.SegmentManager(launch)
+        seg = owner.allocate("G", (5, 3), np.float64)
+        view = seg.ndarray()
+        view[...] = np.arange(15.0).reshape(5, 3)
+        assert shm.segment_name(launch, "G") in shm.live_segments()
+
+        peer = shm.SegmentManager(launch)
+        mirror = peer.attach("G", (5, 3), np.float64).ndarray()
+        assert np.array_equal(mirror, view)
+        mirror[0, 0] = 99.0
+        assert view[0, 0] == 99.0  # same physical pages
+
+        del view, mirror
+        peer.close_all()
+        owner.close_all()
+        assert shm.unlink_by_name(shm.segment_name(launch, "G"))
+        assert_no_segments()
+
+    def test_view_is_cached_per_segment(self):
+        launch = shm.new_launch_id()
+        seg = shm.SegmentManager(launch).allocate("x", (4,), np.int64)
+        assert seg.ndarray() is seg.ndarray()
+        seg.unlink()
+        assert_no_segments()
+
+    def test_unlink_is_idempotent(self):
+        launch = shm.new_launch_id()
+        seg = shm.ShmSegment.allocate(shm.segment_name(launch, "y"),
+                                      (2,), np.float32)
+        seg.unlink()
+        seg.unlink()  # second time: no error
+        assert not shm.unlink_by_name(seg.name)  # already gone
+        assert_no_segments()
+
+    def test_unlink_by_name_unknown_segment(self):
+        assert shm.unlink_by_name(f"{shm.SHM_PREFIX}-nope-nope") is False
+
+    def test_launch_ids_are_unique(self):
+        assert shm.new_launch_id() != shm.new_launch_id()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle through real launches
+# ---------------------------------------------------------------------------
+class TestLaunchLifecycle:
+    def test_unlinked_on_clean_exit(self, tmp_path):
+        _, res = run(tmp_path, "clean")
+        assert res.value == REF
+        assert_no_segments()
+        assert [p for p in multiprocessing.active_children()
+                if p.name.startswith("mp-rank-")] == []
+
+    def test_unlinked_on_rank_failure(self, tmp_path):
+        """An uninjected-recovery run: the failure unwinds the phase and
+        the launch's segments must not survive it."""
+        with pytest.raises(InjectedFailure):
+            run(tmp_path, "fail", injector=FailureInjector(fail_at=4))
+        assert_no_segments()
+
+    def test_unlinked_on_rank_scoped_failure(self, tmp_path):
+        """Only rank 1 fails; peers are terminated mid-collective — the
+        parent's by-name cleanup must still reclaim every segment."""
+        with pytest.raises(InjectedFailure):
+            run(tmp_path, "fail-rank",
+                injector=FailureInjector(fail_at=4, rank=1))
+        assert_no_segments()
+
+    def test_unlinked_across_driver_restart_chain(self, tmp_path):
+        """PhaseDriver restart: fail, recover from checkpoint, finish —
+        two launches, two segment generations, zero survivors."""
+        rt, res = run(tmp_path, "restart",
+                      injector=FailureInjector(fail_at=6),
+                      auto_recover=True)
+        assert res.value == REF
+        assert res.restarts == 1
+        assert_no_segments()

@@ -1,7 +1,6 @@
 """Tests for the remaining distributed templates: OnMaster, ReduceResult,
 and the aggregate field-role declarations used by adaptation."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
