@@ -102,6 +102,17 @@ class ReplayState:
             self.on_restore(self.snapshot)
         return True
 
+    def complete(self, ctx, count: int) -> None:
+        """Post-replay completion, run once at the target safe point.
+
+        The default is the restore protocol: load the snapshot (scatter
+        / broadcast it across ranks in distributed modes).  Subclasses
+        reroute this — an elastic :class:`~repro.elastic.JoinReplay`
+        enters the membership-transition rendezvous instead, receiving
+        its partitions from the surviving owners rather than a snapshot.
+        """
+        ctx._restore(self.snapshot, count)
+
     def restore_into(self, instance: Any) -> None:
         """Convenience: apply the snapshot's fields to ``instance``."""
         if self.snapshot is not None:

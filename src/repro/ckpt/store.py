@@ -178,6 +178,102 @@ class CheckpointStore:
         return None
 
     # ------------------------------------------------------------------
+    # shard reassembly: the STRATEGY_LOCAL read path
+    # ------------------------------------------------------------------
+    def shard_counts(self) -> dict[int, list[int]]:
+        """Safe-point counts with shard files on disk: count -> ranks."""
+        if self.shard_suffix:
+            raise ValueError("shard stores hold one rank's files only")
+        out: dict[int, list[int]] = {}
+        for name in os.listdir(self.dir):
+            m = _ANY_CKPT_RE.match(name)
+            if m and m.group(2):
+                out.setdefault(int(m.group(1)), []).append(
+                    int(m.group(2)[2:]))
+        for ranks in out.values():
+            ranks.sort()
+        return out
+
+    def assemble_from_shards(self, count: int,
+                             partitioned: dict | None = None,
+                             _ranks: list[int] | None = None
+                             ) -> Snapshot | None:
+        """Reassemble a master-format snapshot from per-rank shards.
+
+        ``STRATEGY_LOCAL`` writes one same-shape shard per rank (each a
+        full-size array valid only in that rank's owned region, plus the
+        replicated non-partitioned SafeData).  Given the ``partitioned``
+        declarations (field -> :class:`~repro.core.templates.Partitioned`,
+        for the layouts), the owned regions are recombined into whole
+        arrays — so a run that only ever saved shards is restartable, in
+        any mode, exactly like a master-format checkpoint.
+
+        Returns None when no complete, intact shard set exists at
+        ``count`` — recovery then degrades to an older checkpoint, the
+        same contract as :meth:`read_latest`.
+        """
+        import numpy as np
+
+        ranks = _ranks if _ranks is not None \
+            else self.shard_counts().get(count, [])
+        if 0 not in ranks:
+            return None
+        try:
+            root = self.shard(0).read(count)
+        except (SnapshotCorrupt, OSError):
+            return None
+        # shard 0's metadata names the membership that saved this count;
+        # surplus shard files (an earlier, wider run at the same count)
+        # are ignored, a missing member makes the set incomplete.
+        nranks = int(root.meta.get("nranks", len(ranks)))
+        if not set(range(nranks)) <= set(ranks):
+            return None
+        try:
+            shards = [root] + [self.shard(r).read(count)
+                               for r in range(1, nranks)]
+        except (SnapshotCorrupt, OSError):
+            return None
+        fields: dict = {}
+        for name, value in root.fields.items():
+            part = (partitioned or {}).get(name)
+            if part is None or part.whole_at_safepoints \
+                    or not isinstance(value, np.ndarray):
+                fields[name] = value  # replicated: any shard's copy is it
+                continue
+            whole = value.copy()
+            axis = part.layout.axis
+            n = whole.shape[axis]
+            sl: list = [slice(None)] * whole.ndim
+            for r, sh in enumerate(shards):
+                idx = part.layout.owned(n, r, nranks)
+                sl[axis] = idx
+                whole[tuple(sl)] = np.take(sh.fields[name], idx, axis=axis)
+            fields[name] = whole
+        snap = Snapshot(app=root.app, safepoint_count=count, fields=fields,
+                        mode=root.mode, meta=dict(root.meta))
+        snap.meta["assembled_from_shards"] = nranks
+        snap.meta["disk_nbytes"] = sum(
+            int(sh.meta.get("disk_nbytes", sh.nbytes)) for sh in shards)
+        snap.meta.pop("shard", None)
+        return snap
+
+    def assemble_latest_from_shards(self, partitioned: dict | None = None
+                                    ) -> Snapshot | None:
+        """Newest safe point whose complete shard set reassembles.
+
+        One directory scan serves every candidate count (the scan is
+        O(files); re-listing per count would make long-run recovery
+        quadratic in the number of checkpoints).
+        """
+        by_count = self.shard_counts()
+        for count in sorted(by_count, reverse=True):
+            snap = self.assemble_from_shards(count, partitioned,
+                                             _ranks=by_count[count])
+            if snap is not None:
+                return snap
+        return None
+
+    # ------------------------------------------------------------------
     def _protected_counts(self, kept: list[int]) -> set[int]:
         """Counts that must survive a prune (hook for delta chains)."""
         return set(kept)

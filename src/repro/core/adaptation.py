@@ -23,12 +23,30 @@ from repro.core.modes import ExecConfig
 
 @dataclass(frozen=True)
 class AdaptStep:
-    """One planned reshaping: at safe point ``at``, become ``config``."""
+    """One planned reshaping: at safe point ``at``, become ``config``.
+
+    ``in_place`` selects the reshape kind within the run-time protocol:
+
+    * ``None`` (default) — automatic: reshape in place when the backend
+      advertises ``Capabilities.elastic_ranks`` and only the processing-
+      element counts change; unwind and relaunch otherwise;
+    * ``True`` — request the in-place membership transition; if the
+      backend cannot honour it the step degrades to a relaunch (the
+      documented fallback), never to an error;
+    * ``False`` — force the unwind-and-relaunch path even where an
+      in-place reshape is possible (the reshape-vs-relaunch benchmarks
+      use this to measure both sides of the same step).
+
+    ``via_restart=True`` always relaunches through the checkpoint file;
+    ``in_place`` is ignored for such steps.
+    """
 
     at: int
     config: ExecConfig
     #: True = checkpoint/restart through disk; False = run-time protocol.
     via_restart: bool = False
+    #: None = auto, True = prefer in-place, False = force relaunch.
+    in_place: bool | None = None
 
     def __post_init__(self) -> None:
         if self.at < 1:

@@ -50,7 +50,7 @@ class SelfAdaptationAdvisor:
 
     def __init__(self, machine: MachineModel, max_pe: int | None = None,
                  window: int = 5, tolerance: float = 0.05,
-                 registry=None) -> None:
+                 registry=None, transition_aware: bool = False) -> None:
         from repro.exec.registry import default_registry
 
         if window < 2:
@@ -60,6 +60,14 @@ class SelfAdaptationAdvisor:
         self.machine = machine
         self.window = window
         self.tolerance = tolerance
+        #: gate ladder climbs on the modelled cost of *getting there*:
+        #: a rung whose transition costs more than a whole measurement
+        #: window of the current configuration cannot pay for its own
+        #: trial and is skipped (the advisor settles instead).  Uses the
+        #: per-backend calibrated machine model, so e.g. process-rank
+        #: relaunches (fork-class spawn costs) are priced honestly while
+        #: elastic in-place reshapes stay cheap.
+        self.transition_aware = transition_aware
         self.max_pe = max_pe if max_pe is not None else machine.total_cores
         self.registry = registry if registry is not None else default_registry()
         self.ladder = self._build_ladder()
@@ -97,6 +105,50 @@ class SelfAdaptationAdvisor:
                 ladder.append(ExecConfig.distributed(p))
                 p *= 2
         return ladder
+
+    # ------------------------------------------------------------------
+    # transition ranking (per-backend calibrated cost model)
+    # ------------------------------------------------------------------
+    def transition_cost(self, cur: ExecConfig, target: ExecConfig) -> float:
+        """Modelled one-off cost of moving ``cur`` -> ``target``.
+
+        The target's backend supplies its calibrated
+        :class:`MachineModel` (``ExecutionBackend.calibrate``) and its
+        capabilities decide the transition kind: same mode and backend
+        with ``elastic_ranks`` (or a pure team resize) is an *in-place
+        reshape* — barrier pair plus spawns for the grown members only —
+        while everything else is a *relaunch* that re-spawns every
+        processing element and re-scatters state.
+        """
+        from repro.core.errors import WeaveError
+
+        try:
+            backend = self.registry.resolve(target)
+        except WeaveError:
+            return float("inf")
+        m = backend.calibrate(self.machine)
+        caps = backend.capabilities(target)
+        pe_cur, pe_new = cur.processing_elements, target.processing_elements
+        in_place = (
+            target.mode is cur.mode and target.backend == cur.backend
+            and (caps.elastic_ranks
+                 or (caps.team_regions and target.nranks == cur.nranks)))
+        if in_place:
+            # grown members are un-parked / thread-spawned, never forked
+            # (the elastic fabric pre-forks at launch), so the *base*
+            # spawn cost applies even on backends whose calibration
+            # prices rank creation at fork class.
+            return (2 * m.barrier_cost(max(pe_cur, pe_new))
+                    + self.machine.spawn_cost * max(0, pe_new - pe_cur))
+        # relaunch: tear down, spawn the full new shape, re-scatter.
+        return (m.spawn_cost * pe_new + 2 * m.barrier_cost(pe_new)
+                + (pe_new - 1) * m.network.p2p_cost(0, same_node=False))
+
+    def _transition_affordable(self, cur: ExecConfig, target: ExecConfig,
+                               per_iter: float) -> bool:
+        if not self.transition_aware:
+            return True
+        return self.transition_cost(cur, target) <= self.window * per_iter
 
     def _next_candidate(self, current: ExecConfig) -> ExecConfig | None:
         try:
@@ -146,6 +198,10 @@ class SelfAdaptationAdvisor:
                         default=None)
         improved = prev_best is None or per_iter < prev_best * (
             1.0 - self.tolerance)
+        if candidate is not None and improved \
+                and not self._transition_affordable(config, candidate,
+                                                    per_iter):
+            candidate = None  # the climb cannot pay for its own trial
         if candidate is not None and improved:
             self.decisions.append((count, candidate))
             self._trial = None

@@ -76,7 +76,8 @@ class ExecutionContext:
                  rankctx: RankContext | None = None,
                  start_count: int = 0,
                  advisor=None,
-                 caps: Capabilities | None = None) -> None:
+                 caps: Capabilities | None = None,
+                 reshaper=None) -> None:
         if ckpt_strategy not in (STRATEGY_MASTER, STRATEGY_LOCAL):
             raise ValueError(f"unknown checkpoint strategy {ckpt_strategy!r}")
         self.config = config
@@ -102,6 +103,14 @@ class ExecutionContext:
         self.shared_fields: set[str] = set()
         #: optional SelfAdaptationAdvisor (sequential/shared phases only).
         self.advisor = advisor
+        #: optional backend RankReshaper — the in-place rank-membership
+        #: hook behind ``Capabilities.elastic_ranks``.
+        self.reshaper = reshaper
+        #: AdaptationRecords of in-place reshapes (rank membership
+        #: transitions and worker resizes) applied during this phase;
+        #: collected by the backend into the PhaseOutcome, so reshapes
+        #: that never unwind still reach RunResult.adaptations.
+        self.reshapes: list = []
         self.counter = SafePointCounter(start_count)
         self.instance: Any = None
         self._seq_clock = VClock()
@@ -440,7 +449,9 @@ class ExecutionContext:
         self.injector.check(count, rank=self.rank if self.rankctx else None)
         if self.replay is not None and self.replay.active:
             if self.replay.observe_safepoint(count):
-                self._restore(self.replay.snapshot, count)
+                # restore from the snapshot, or — for an elastic
+                # JoinReplay — enter the membership rendezvous.
+                self.replay.complete(self, count)
                 acted = True
             return acted
         if self.policy.due(count):
@@ -652,21 +663,40 @@ class ExecutionContext:
     def _adapt(self, step: AdaptStep, count: int) -> None:
         new = step.config
         cur = self.config
-        live_team_resize = (
-            not step.via_restart
-            and new.mode == cur.mode
-            and new.nranks == cur.nranks
+        in_place_ok = not step.via_restart and step.in_place is not False \
+            and new.mode == cur.mode \
             and new.backend == cur.backend  # backend switch must relaunch
+        live_team_resize = (
+            in_place_ok
+            and new.nranks == cur.nranks
             and self.caps.team_regions
             and self.team is not None)
         if live_team_resize:
-            # run-time protocol, thread dimension only: reshape in place.
+            # run-time protocol, thread dimension: reshape in place.
+            from repro.core.adaptation import AdaptationRecord
+
             self.team.request_resize(new.workers)
             self.config = new
             self.log.emit("adapt_resize", vtime=self.clock().now,
                           count=count, workers=new.workers)
+            if self.rank == 0:
+                self.reshapes.append(AdaptationRecord(
+                    at_count=count, from_config=cur, to_config=new,
+                    via_restart=False, vtime=self.clock().now,
+                    extra={"in_place": True, "kind": "team_resize"}))
             return
-        # Reshaping ranks or switching modes: unwind and relaunch.
+        elastic_rank_reshape = (
+            in_place_ok
+            and new.nranks != cur.nranks
+            and self.caps.elastic_ranks
+            and self.reshaper is not None
+            and self.rankctx is not None)
+        if elastic_rank_reshape and self.reshaper.reshape(self, step, count):
+            # membership transition done in place (retiring ranks never
+            # reach here: they unwound via RankRetired inside reshape).
+            return
+        # Reshaping across modes/backends (or an elastic transition the
+        # backend declined): unwind and relaunch.
         snap = self.capture_snapshot(count)
         if step.via_restart:
             # checkpoint/restart path: persist, then the relaunch reads

@@ -35,11 +35,19 @@ class Capabilities:
       synchronisation barriers, and checkpoint capture/restore touches
       the one shared copy in place instead of moving partitions over
       the wire.
+    * ``elastic_ranks`` — the backend can grow/shrink its set of
+      processing elements at a safe point *within* a phase: the
+      safe-point protocol turns a rank-count adaptation into a
+      membership transition (see :mod:`repro.elastic`) instead of an
+      unwind-and-relaunch.  Thread teams resize their worker dimension
+      in place under the same flag; relaunch remains the fallback for
+      mode/backend switches and the recovery path.
     """
 
     team_regions: bool = False
     rank_collectives: bool = False
     shared_fields: bool = False
+    elastic_ranks: bool = False
 
 
 class Mode(enum.Enum):

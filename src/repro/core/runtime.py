@@ -73,6 +73,23 @@ class RunResult:
     def adapted(self) -> bool:
         return bool(self.adaptations)
 
+    @property
+    def relaunches(self) -> int:
+        """Phase relaunches the run paid (0 = everything ran in place).
+
+        Every phase after the first is one teardown + relaunch —
+        adaptation unwinds and failure restarts alike.  Elastic in-place
+        reshapes never add a phase, which is the whole point of
+        :mod:`repro.elastic`.
+        """
+        return max(0, len(self.phases) - 1)
+
+    @property
+    def in_place_reshapes(self) -> list[AdaptationRecord]:
+        """Adaptations applied without a relaunch (membership
+        transitions and live team resizes)."""
+        return [a for a in self.adaptations if a.extra.get("in_place")]
+
 
 class Runtime:
     """Launcher bound to a machine model and a checkpoint directory."""
@@ -184,6 +201,13 @@ class Runtime:
         if self.ledger.previous_run_failed():
             self.store.flush()  # surviving async writes become readable
             snap = self.store.read_latest()
+            if snap is None:
+                # STRATEGY_LOCAL runs may only have per-rank shards on
+                # disk; reassemble the newest complete set (the layouts
+                # travel with the woven class's plug declarations).
+                plugset = getattr(woven, "__pp_plugs__", None)
+                snap = self.store.assemble_latest_from_shards(
+                    plugset.partitioned_fields() if plugset else {})
             if snap is not None:
                 snap.meta["from_disk"] = True
                 replay = ReplayState.from_snapshot(snap)

@@ -99,6 +99,32 @@ class Communicator:
             self._barrier.abort()
 
     # ------------------------------------------------------------------
+    # elastic membership (see repro.elastic)
+    # ------------------------------------------------------------------
+    def reshape(self, new_n: int, clocks: Sequence[VClock]) -> None:
+        """Re-size the membership to ``new_n`` ranks.
+
+        MUST be called while every current rank is quiescent (parked in
+        the membership-switch barrier — the elastic protocol guarantees
+        this), with all mailboxes drained of user traffic.  Survivors
+        keep their rank ids and mailboxes; joiner mailboxes are created
+        fresh; retiree mailboxes are closed so a stray send to a retired
+        rank fails loudly instead of vanishing.
+        """
+        if len(clocks) != new_n:
+            raise ValueError("one clock per surviving/joining rank required")
+        if new_n > self.nranks:
+            self.mailboxes.extend(
+                Mailbox(r) for r in range(self.nranks, new_n))
+        else:
+            for mb in self.mailboxes[new_n:]:
+                mb.close()
+            del self.mailboxes[new_n:]
+        self.clocks = list(clocks)
+        self.nranks = new_n
+        self._barrier = AdaptiveBarrier(new_n) if new_n > 1 else None
+
+    # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:

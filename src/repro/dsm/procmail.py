@@ -125,15 +125,33 @@ class ProcCommunicator(Communicator):
 
     def __init__(self, rank: int, nranks: int, machine: "MachineModel",
                  channels) -> None:
-        if len(channels) != nranks:
+        if len(channels) < nranks:
             raise ValueError("one channel per rank required")
         # deliberately NOT calling super().__init__: there is no clock
         # list or thread barrier to build in a per-process communicator.
+        # The channel fabric may be pre-sized beyond the active rank
+        # count (elastic launches build it for max_ranks): endpoints
+        # exist for every potential member, while the collectives only
+        # ever span ``self.nranks`` — an elastic reshape is then just an
+        # update of ``nranks`` at a quiesced point, no new transport.
         self.nranks = nranks
         self.machine = machine
         self.mailboxes = [ProcessMailbox(r, ch)
                           for r, ch in enumerate(channels)]
         self._rank = rank
+
+    def reshape(self, new_n: int) -> None:
+        """Adopt a new active membership (elastic protocol, quiesced).
+
+        Valid only at a point where every in-flight collective has
+        completed on every rank and ``new_n`` does not exceed the
+        pre-sized channel fabric.
+        """
+        if new_n < 1 or new_n > len(self.mailboxes):
+            raise ValueError(
+                f"membership {new_n} outside the pre-sized fabric "
+                f"(1..{len(self.mailboxes)})")
+        self.nranks = new_n
 
     # ------------------------------------------------------------------
     def barrier(self) -> None:

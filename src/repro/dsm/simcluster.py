@@ -14,6 +14,16 @@ This is the substrate for the paper's Figure 8.
 Failures: any exception in a rank tears the cluster down (mailboxes close,
 waiting ranks unblock) and is re-raised as :class:`RankFailure` carrying
 the original exception, unless it already is one.
+
+Elasticity: the cluster can add/retire simulated nodes mid-run through
+:meth:`SimCluster.switch` — the membership half of the elastic reshape
+protocol (:mod:`repro.elastic`).  All current ranks park in a barrier;
+the last arriver folds every clock into the transition epoch and then
+grows the cluster (fresh rank threads spawned replaying to the safe
+point, mailboxes and a wider barrier admitted) or shrinks it (retiree
+mailboxes closed, clocks dropped after being folded into the epoch).
+:meth:`run` joins rank threads dynamically, so joiners spawned after
+launch are reaped exactly like the original ranks.
 """
 
 from __future__ import annotations
@@ -57,6 +67,8 @@ class SimCluster:
         self._results: list[Any] = [None] * nranks
         self._errors: list[RankFailure] = []
         self._err_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._switch_epoch = start_time
 
     # ------------------------------------------------------------------
     def run(self, entry: Callable[..., Any], *args: Any,
@@ -69,18 +81,23 @@ class SimCluster:
         """
         if per_rank_args is not None and len(per_rank_args) != self.nranks:
             raise ValueError("per_rank_args must have one tuple per rank")
-        threads = []
         for r in range(self.nranks):
             a = per_rank_args[r] if per_rank_args is not None else args
             th = threading.Thread(target=self._rank_main, args=(r, entry, a),
                                   daemon=True, name=f"rank-{r}")
-            threads.append(th)
+            self._threads.append(th)
             th.start()
-        for th in threads:
-            th.join(timeout)
-            if th.is_alive():
-                self.comm.close()
-                raise RankFailure(-1, TimeoutError(f"{th.name} hung"))
+        # join dynamically: an elastic grow may add rank threads while
+        # the original ones are still running.
+        while True:
+            alive = [th for th in self._threads if th.is_alive()]
+            if not alive:
+                break
+            for th in alive:
+                th.join(timeout)
+                if th.is_alive():
+                    self.comm.close()
+                    raise RankFailure(-1, TimeoutError(f"{th.name} hung"))
         if self._errors:
             raise self._pick_error()
         self.log.emit("cluster_done", vtime=self.max_time, ranks=self.nranks)
@@ -106,6 +123,69 @@ class SimCluster:
                 self.comm.close()
         finally:
             _bind(None)
+
+    # ------------------------------------------------------------------
+    # elastic membership (the cluster half of repro.elastic's protocol)
+    # ------------------------------------------------------------------
+    def switch(self, plan, joiner_entry: Callable[[], Any] | None) -> float:
+        """Membership-switch collective; every *old* rank must call it.
+
+        All current ranks park in the old barrier; the last arriver
+        folds every clock into the transition epoch, then adds simulated
+        nodes (``joiner_entry`` threads replaying to the safe point) or
+        retires them (mailboxes closed, clocks dropped post-fold).
+        Returns the transition epoch; callers advance their clocks to it
+        like any barrier release.
+        """
+        barrier = self.comm._barrier  # old membership (None when alone)
+
+        def _switch_action() -> None:
+            epoch = VClock.sync_max(
+                self.clocks, extra=self.machine.barrier_cost(self.nranks))
+            self._switch_epoch = epoch
+            if plan.growing:
+                self._grow(plan, joiner_entry, epoch)
+            else:
+                self._shrink(plan)
+
+        if barrier is None:
+            _switch_action()
+        else:
+            barrier.wait(action_override=_switch_action)
+        return self._switch_epoch
+
+    def _grow(self, plan, joiner_entry: Callable[[], Any],
+              epoch: float) -> None:
+        """Add simulated nodes: clocks, mailboxes, replaying rank threads."""
+        new_n = plan.new_n
+        for r in plan.joining:
+            clk = VClock(epoch + self.machine.spawn_cost)
+            self.clocks.append(clk)
+            self._results.append(None)
+        self.comm.reshape(new_n, self.clocks)
+        self.nranks = new_n
+        for r, c in enumerate(self.clocks):
+            c.contention = self.machine.contention_factor(r, new_n)
+        for r in plan.joining:
+            th = threading.Thread(target=self._rank_main,
+                                  args=(r, joiner_entry, ()),
+                                  daemon=True, name=f"rank-{r}")
+            self._threads.append(th)
+            th.start()
+        self.log.emit("cluster_grow", vtime=epoch, ranks=new_n,
+                      was=plan.old_n)
+
+    def _shrink(self, plan) -> None:
+        """Retire simulated nodes: their clocks are already folded into
+        the epoch; endpoints close so stray sends fail loudly."""
+        new_n = plan.new_n
+        del self.clocks[new_n:]
+        self.comm.reshape(new_n, self.clocks)
+        self.nranks = new_n
+        for r, c in enumerate(self.clocks):
+            c.contention = self.machine.contention_factor(r, new_n)
+        self.log.emit("cluster_shrink", vtime=self._switch_epoch,
+                      ranks=new_n, was=plan.old_n)
 
     def shutdown(self) -> None:
         """Release cluster resources once the ranks are joined; idempotent.

@@ -1,0 +1,51 @@
+"""Elastic reshape: grow/shrink rank teams at safe points, no relaunch.
+
+The paper reshapes a running application at safe points, but only the
+thread dimension reshapes in place — changing the rank count used to
+tear the phase down and relaunch it, re-paying launch, scatter and (for
+process backends) fork/segment costs at every adaptation step.  This
+package turns a rank-count change into a *membership transition*:
+
+* :mod:`repro.elastic.plan` — :class:`ReshapePlan`: who survives, joins
+  and retires, and the scatter-from-surviving-owners move schedule for
+  every partitioned field, derived from the partition layouts;
+* :mod:`repro.elastic.protocol` — the safe-point choreography (quiesce,
+  move, switch, rendezvous, identity update), the :class:`JoinReplay`
+  call-stack rebuild for joining ranks, the :class:`RankRetired` unwind
+  for leaving ones, and the :class:`RankReshaper` hook backends
+  implement.
+
+Backends advertise the ability via ``Capabilities.elastic_ranks``; the
+safe-point protocol then prefers an in-place reshape over the
+unwind-and-relaunch path, which remains the fallback (and the recovery
+path) everywhere else.
+"""
+
+from repro.elastic.plan import FieldMove, ReshapePlan
+from repro.elastic.protocol import (
+    TAG_RESHAPE_MOVE,
+    TAG_RESHAPE_STATE,
+    JoinReplay,
+    RankReshaper,
+    RankRetired,
+    apply_new_identity,
+    execute_moves,
+    join_rendezvous,
+    movable_fields,
+    refresh_new_members,
+)
+
+__all__ = [
+    "FieldMove",
+    "JoinReplay",
+    "RankReshaper",
+    "RankRetired",
+    "ReshapePlan",
+    "TAG_RESHAPE_MOVE",
+    "TAG_RESHAPE_STATE",
+    "apply_new_identity",
+    "execute_moves",
+    "join_rendezvous",
+    "movable_fields",
+    "refresh_new_members",
+]

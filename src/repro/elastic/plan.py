@@ -1,0 +1,132 @@
+"""Reshape plans: the data-movement map of one membership transition.
+
+A rank-count change at a safe point is a *membership transition*: some
+ranks survive with their identity intact, some join, some retire.  A
+:class:`ReshapePlan` fixes the convention (survivors keep their rank
+ids — ranks ``0..min(old, new)-1`` — joiners take the fresh ids above,
+retirees are the old ids above the new size) and derives from the
+:mod:`repro.dsm.partition` layouts exactly which index regions of each
+partitioned field must move between which ranks: every index a *new*
+owner needs (its owned region, plus ghost planes for halo'd block
+layouts) that it did not already own under the *old* layout is sent by
+the unique old owner of that index — scatter-from-surviving-owners, no
+round-trip through member 0.
+
+The plan is pure data, computed identically on every rank from
+``(old_n, new_n)`` and the field layouts, so the ranks agree on the move
+schedule without any negotiation traffic — the same determinism argument
+as checkpoint policies and adaptation plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsm.partition import BlockLayout, Layout
+
+
+@dataclass(frozen=True)
+class FieldMove:
+    """One point-to-point transfer of a field region.
+
+    ``src`` is an *old* rank id, ``dst`` a *new* rank id (the two spaces
+    coincide for survivors), ``idx`` the global indices along the
+    layout's axis.
+    """
+
+    src: int
+    dst: int
+    idx: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("a move between a rank and itself is a no-op")
+
+
+@dataclass(frozen=True)
+class ReshapePlan:
+    """Membership map of one ``old_n -> new_n`` rank reshape."""
+
+    old_n: int
+    new_n: int
+
+    def __post_init__(self) -> None:
+        if self.old_n < 1 or self.new_n < 1:
+            raise ValueError("rank counts must be >= 1")
+        if self.old_n == self.new_n:
+            raise ValueError("a reshape must change the rank count")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def growing(self) -> bool:
+        return self.new_n > self.old_n
+
+    @property
+    def shrinking(self) -> bool:
+        return self.new_n < self.old_n
+
+    @property
+    def survivors(self) -> tuple[int, ...]:
+        """Old ranks that continue, keeping their ids."""
+        return tuple(range(min(self.old_n, self.new_n)))
+
+    @property
+    def joining(self) -> tuple[int, ...]:
+        """New rank ids with no prior identity (grow only)."""
+        return tuple(range(self.old_n, self.new_n)) if self.growing else ()
+
+    @property
+    def retiring(self) -> tuple[int, ...]:
+        """Old rank ids that leave the membership (shrink only)."""
+        return tuple(range(self.new_n, self.old_n)) if self.shrinking else ()
+
+    def renumber(self, old_rank: int) -> int | None:
+        """New id of ``old_rank`` (identity for survivors, None if
+        retired)."""
+        if not (0 <= old_rank < self.old_n):
+            raise ValueError(f"rank {old_rank} not in the old membership")
+        return old_rank if old_rank < self.new_n else None
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def needed(self, layout: Layout, n: int, new_rank: int) -> np.ndarray:
+        """Indices ``new_rank`` must hold valid after the transition.
+
+        The owned region under the new layout, widened to the ghost
+        planes for halo'd block layouts so stencil code can run before
+        its first post-reshape halo exchange.
+        """
+        if isinstance(layout, BlockLayout) and layout.halo > 0:
+            lo, hi = layout.halo_bounds(n, new_rank, self.new_n)
+            return np.arange(lo, hi)
+        return layout.owned(n, new_rank, self.new_n)
+
+    def moves(self, layout: Layout, n: int) -> list[FieldMove]:
+        """The transfer schedule for one field of extent ``n``.
+
+        Deterministic order (by destination, then source) — every rank
+        computes the identical list and walks it in lockstep, sending
+        the moves it sources and receiving the ones it sinks.
+        """
+        out: list[FieldMove] = []
+        for dst in range(self.new_n):
+            need = self.needed(layout, n, dst)
+            for src in range(self.old_n):
+                if src == dst:
+                    # a survivor's pre-owned data is already in place
+                    # (in-place storage: full-size array per rank).
+                    continue
+                have = layout.owned(n, src, self.old_n)
+                idx = np.intersect1d(need, have, assume_unique=False)
+                if idx.size:
+                    out.append(FieldMove(src=src, dst=dst, idx=idx))
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        kind = "grow" if self.growing else "shrink"
+        return f"ReshapePlan({kind} {self.old_n}->{self.new_n})"

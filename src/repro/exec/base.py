@@ -90,6 +90,10 @@ class PhaseOutcome:
     value: Any = None
     adaptation: AdaptationExit | None = None
     failure: InjectedFailure | None = None
+    #: AdaptationRecords of in-place reshapes (elastic rank membership
+    #: transitions, live team resizes) applied *within* the phase — they
+    #: never unwind, so this is how they reach the driver's run record.
+    reshapes: list = field(default_factory=list)
 
 
 @dataclass
@@ -139,11 +143,24 @@ class ExecutionBackend(ABC):
         created before returning, on every path.
         """
 
+    def calibrate(self, machine: MachineModel) -> MachineModel:
+        """Per-backend cost-model overrides for transition ranking.
+
+        The shared :class:`MachineModel` describes the simulated cluster;
+        a backend whose real substrate behaves differently (the
+        multiprocessing backend's fork + queue latency is nothing like
+        the modelled network) returns a copy with the relevant constants
+        replaced.  Consumed by the advisor when ranking reshape against
+        relaunch; the returned model never feeds the phase's virtual
+        clocks, so calibration cannot perturb cross-backend vtime parity.
+        """
+        return machine
+
     # ------------------------------------------------------------------
     # shared helpers for concrete backends
     # ------------------------------------------------------------------
     def make_context(self, spec: PhaseSpec, services: PhaseServices,
-                     rankctx=None, team=None):
+                     rankctx=None, team=None, reshaper=None):
         """Build the phase's :class:`ExecutionContext`.
 
         Each rank/phase gets its own replay cursor over the shared
@@ -167,7 +184,7 @@ class ExecutionBackend(ABC):
             partitioned=plugset.partitioned_fields(),
             ckpt_strategy=services.ckpt_strategy, rankctx=rankctx, team=team,
             advisor=services.advisor,
-            caps=self.capabilities(spec.config))
+            caps=self.capabilities(spec.config), reshaper=reshaper)
 
     def run_entry(self, ctx, spec: PhaseSpec) -> Any:
         """Instantiate the woven class, bind it, and call the entry."""

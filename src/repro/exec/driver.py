@@ -15,6 +15,18 @@ backend the registry resolves for it, then react to the phase outcome —
   Figure 6 experiment); otherwise re-raise with the ledger left
   ``running`` so the next run replays.
 
+Reshape beats restart where the backend allows it: a backend that
+advertises ``Capabilities.elastic_ranks`` applies rank-count adaptation
+steps *inside* the phase (a membership transition, no unwind — see
+:mod:`repro.elastic`), so the driver never has to relaunch for them; it
+only folds the reported in-place reshapes into the run record and keeps
+the relaunch machinery as the fallback and the recovery path.
+
+Recovery reads prefer the master checkpoint format but no longer depend
+on it: when only ``STRATEGY_LOCAL`` per-rank shards exist on disk, the
+driver reassembles a master-format snapshot from the same-shape shards
+(:meth:`CheckpointStore.assemble_from_shards`).
+
 Because each relaunch resolves its backend afresh, the full Mode matrix
 (and any backend registered at run time) flows through the one loop —
 the driver contains no mode conditionals at all.
@@ -69,6 +81,10 @@ class PhaseDriver:
 
         services = self.services
         store = services.store
+        #: partitioned declarations travel with the woven class; shard
+        #: reassembly needs the layouts to recombine per-rank regions.
+        plugset = getattr(woven, "__pp_plugs__", None)
+        partitioned = plugset.partitioned_fields() if plugset else {}
         vtime = 0.0
         phases: list[PhaseReport] = []
         adaptations: list[AdaptationRecord] = []
@@ -83,6 +99,13 @@ class PhaseDriver:
                 plan=plan, injector=injector, replay=replay,
                 start_vtime=vtime)
             out = backend.launch(spec, services)
+            if out.reshapes:
+                # in-place reshapes (elastic rank transitions, live team
+                # resizes) never unwind; the backend reports them so the
+                # run record stays complete — and the phase's *current*
+                # shape is the last one they reached.
+                adaptations.extend(out.reshapes)
+                config = out.reshapes[-1].to_config
 
             if out.status == PHASE_COMPLETED:
                 store.flush()  # all checkpoints durable before "done"
@@ -107,6 +130,11 @@ class PhaseDriver:
                         # whether newer checkpoints exist on disk.
                         disk = store.read(step.at)
                     except (SnapshotCorrupt, OSError):
+                        # no master-format file: a STRATEGY_LOCAL phase
+                        # saved per-rank shards instead — reassemble.
+                        disk = store.assemble_from_shards(
+                            step.at, partitioned)
+                    if disk is None:
                         raise WeaveError(
                             "restart-based adaptation found no checkpoint "
                             f"at safe point {step.at}") from ae
@@ -138,6 +166,10 @@ class PhaseDriver:
             if restarts > max_restarts:
                 raise fail
             snap = store.read_latest()
+            if snap is None:
+                # survivable STRATEGY_LOCAL: reassemble the newest
+                # complete shard set into a master-format snapshot.
+                snap = store.assemble_latest_from_shards(partitioned)
             if snap is not None:
                 snap.meta["from_disk"] = True
                 replay = ReplayState.from_snapshot(snap)

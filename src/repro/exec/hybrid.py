@@ -16,6 +16,12 @@ class HybridBackend(SimClusterBackend):
     by the base class) and both capability families — the team protocol
     runs per rank, with rank-level collectives run by one thread per
     rank.
+
+    Deliberately *not* ``elastic_ranks`` (so the inherited launch wires
+    no reshaper): the team dimension reshapes live per rank, but a
+    rank-count change would need the membership protocol to compose a
+    joining rank's entry replay with its team's region replay, which is
+    unimplemented — rank reshapes relaunch, the documented fallback.
     """
 
     name = "hybrid"

@@ -25,6 +25,18 @@ What stays in the parent, and why:
   order as :class:`~repro.exec.cluster.SimClusterBackend`) and returns
   the one normal-form :class:`~repro.exec.base.PhaseOutcome`.
 
+Elastic ranks (``Capabilities.elastic_ranks``): the launch pre-sizes the
+segment set, the mailbox fabric and the process pool for the *maximum*
+rank count the adaptation plan can reach, and parks the surplus
+processes on their control channels.  A rank-count adaptation is then a
+membership transition run by the workers themselves (the protocol in
+:mod:`repro.elastic`): a grow un-parks processes — they replay the entry
+to the transition safe point and map the existing segments, no fork, no
+allocation, no re-scatter (shared partitions need no data movement at
+all) — and a shrink parks them again.  Only the parent's bookkeeping
+(which ranks will report) changes, via a notify queue.  Relaunch remains
+the path for mode/backend switches and recovery.
+
 Start method: ``fork`` where available (Linux; supports dynamically
 woven classes), else ``spawn`` — under ``spawn`` the woven class is
 shipped as ``(base class, plug set)`` and re-woven in the child, so the
@@ -42,12 +54,22 @@ import numpy as np
 
 from repro.ckpt.failure import InjectedFailure
 from repro.ckpt.funnel import CheckpointFunnel, FunnelStore
+from repro.core.adaptation import AdaptStep
 from repro.core.errors import AdaptationExit
 from repro.core.modes import Capabilities, ExecConfig, Mode
 from repro.dsm import shm
 from repro.dsm.comm import RankContext, _bind
 from repro.dsm.procmail import ProcCommunicator
 from repro.dsm.simcluster import RankFailure
+from repro.elastic import (
+    JoinReplay,
+    RankReshaper,
+    RankRetired,
+    ReshapePlan,
+    apply_new_identity,
+    execute_moves,
+    join_rendezvous,
+)
 from repro.exec.base import (
     PHASE_COMPLETED,
     ExecutionBackend,
@@ -57,12 +79,15 @@ from repro.exec.base import (
 )
 from repro.util.events import EventLog
 from repro.vtime.clock import VClock
+from repro.vtime.machine import PROCESS_RANKS_CALIBRATION
 
 #: worker report statuses.
 _COMPLETED = "completed"
 _ADAPTED = "adapted"
 _FAILED = "failed"
 _ERROR = "error"
+#: internal segment end: the rank left the membership and re-parked.
+_RETIRED = "retired"
 
 #: once one rank reports a failure, how long its peers get to finish
 #: reporting before the parent terminates them (a rank-scoped failure
@@ -96,7 +121,8 @@ class _ChildTask:
 
     def __init__(self, rank: int, spec: PhaseSpec, services: PhaseServices,
                  backend: "MultiprocessBackend", channels, result_queue,
-                 store: FunnelStore, launch_id: str) -> None:
+                 notify_queue, store: FunnelStore, launch_id: str,
+                 max_ranks: int) -> None:
         from dataclasses import replace
 
         base, self.plugs = _portable_woven(spec.woven)
@@ -120,8 +146,10 @@ class _ChildTask:
         self.backend = backend
         self.channels = channels
         self.result_queue = result_queue
+        self.notify_queue = notify_queue
         self.store = store
         self.launch_id = launch_id
+        self.max_ranks = max_ranks
 
     def rebuild_spec(self) -> PhaseSpec:
         if self.plugs is None:
@@ -134,13 +162,16 @@ class _ChildTask:
 
 
 def _place_shared_fields(ctx, instance, comm, launch_id: str
-                         ) -> shm.SegmentManager:
+                         ) -> tuple[shm.SegmentManager, dict]:
     """Move every partitioned ndarray field into a shared segment.
 
     Rank 0 allocates and seeds each segment from its constructor-built
     array (the authoritative copy, matching scatter-from-root
     semantics); the metadata broadcast orders creation before any
     attach.  Every rank then rebinds the field to the shared view.
+    Returns the manager plus the ``{field: (shape, dtype)}`` metadata —
+    the reshape protocol ships the metadata to un-parked joiners, which
+    attach the *same* segments (an elastic grow allocates nothing).
 
     Fields declared ``whole_at_safepoints`` are deliberately left
     private: that declaration means every member re-assembles and then
@@ -171,36 +202,161 @@ def _place_shared_fields(ctx, instance, comm, launch_id: str
         for f, (shape, dtype) in meta.items():
             seg = manager.attach(f, shape, dtype)
             setattr(instance, f, seg.ndarray())
-    ctx.shared_fields = set(manager.fields()) if rank == 0 else set(meta)
+    ctx.shared_fields = set(meta)
+    return manager, meta
+
+
+def _attach_shared_fields(ctx, instance, meta: dict, launch_id: str
+                          ) -> shm.SegmentManager:
+    """An un-parked joiner maps the launch's existing segments.
+
+    No broadcast: the segment metadata arrived in the un-park message,
+    and the segments themselves have existed since the launch — this is
+    the pre-sized-symmetric-heap half of the elastic design.
+    """
+    manager = shm.SegmentManager(launch_id)
+    for f, (shape, dtype) in meta.items():
+        seg = manager.attach(f, shape, dtype)
+        setattr(instance, f, seg.ndarray())
+    ctx.shared_fields = set(meta)
     return manager
 
 
-def _rank_main(rank: int, task: _ChildTask) -> None:
-    """One rank's life: context, shared fields, entry, one report."""
+class ProcessReshaper(RankReshaper):
+    """Elastic membership transitions over parked worker processes.
+
+    A grow un-parks pre-forked processes (rank 0 posts the un-park
+    control message carrying the replay target, the transition epoch and
+    the segment metadata); a shrink sends the retirees back to their
+    control channel via :class:`RankRetired`.  The parent learns of the
+    membership change through the notify queue — it is bookkeeping, not
+    a participant.
+    """
+
+    def __init__(self, task: _ChildTask, comm: ProcCommunicator,
+                 machine, rank: int) -> None:
+        self.task = task
+        self.comm = comm
+        self.machine = machine
+        self.rank = rank
+        #: {field: (shape, dtype)} of the launch's shared segments;
+        #: filled in once fields are placed/attached.
+        self.segment_meta: dict = {}
+
+    # ------------------------------------------------------------------
+    def reshape(self, ctx, step: AdaptStep, count: int) -> bool:
+        new_n = step.config.nranks
+        if new_n > self.task.max_ranks:
+            # beyond the pre-sized fabric: every rank computes the same
+            # verdict locally, so all fall back to relaunch together.
+            return False
+        plan = ReshapePlan(ctx.nranks, new_n)
+        comm = self.comm
+        rank = ctx.rank
+        comm.barrier()  # quiesce: all prior collectives drained
+        epoch = ctx.rankctx.clock.now
+        if rank == 0:
+            self.task.notify_queue.put(("reshape", count, plan.old_n, new_n))
+            for j in plan.joining:
+                self.task.channels[j].put({
+                    "kind": "unpark", "count": count, "epoch": epoch,
+                    "step": step, "old_n": plan.old_n,
+                    "segments": self.segment_meta})
+        # fence: rank 0's notify/un-park sends precede every peer's
+        # release, so nothing the new membership does can reach the
+        # parent before the membership change itself.
+        comm.barrier()
+        if plan.shrinking:
+            # retiring owners push their (non-shared) regions while they
+            # still hold endpoints in the old membership.
+            execute_moves(ctx, plan, comm)
+            comm.barrier()  # regions landed; clocks coupled
+            if rank in plan.retiring:
+                raise RankRetired(count, rank)
+            comm.reshape(new_n)
+            apply_new_identity(ctx, step, plan, count, self.machine)
+        else:
+            comm.reshape(new_n)
+            join_rendezvous(ctx, plan, step, count, comm, self.machine)
+        return True
+
+    def complete_join(self, ctx, replay: JoinReplay, count: int) -> None:
+        join_rendezvous(ctx, replay.plan, replay.step, count, self.comm,
+                        self.machine)
+
+
+def _wait_for_control(channel) -> dict | None:
+    """Parked: block on the control channel until a directive arrives.
+
+    Control directives are plain dicts; anything else (a stray late
+    collective envelope from an unwound membership) is discarded — dead
+    letters by definition once this rank is out of the membership.
+    """
+    while True:
+        try:
+            msg = channel.get(timeout=60.0)
+        except _queue.Empty:
+            continue  # parent still alive (daemon children die with it)
+        if isinstance(msg, dict) and "kind" in msg:
+            return msg
+
+
+def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
+                      join_payload: dict | None) -> tuple:
+    """One active segment of a rank's life: entry to report (or re-park).
+
+    Initial members run the phase entry directly; un-parked joiners run
+    it under a :class:`JoinReplay` targeting the transition safe point.
+    Returns ``(status, data, end_vtime, records)``.
+    """
     spec = task.rebuild_spec()
-    config = spec.config
     machine = task.machine
-    log = EventLog()
     services = PhaseServices(
         machine=machine, log=log, store=task.store,
         policy=task.policy, ckpt_strategy=task.ckpt_strategy, advisor=None)
-    clock = VClock(spec.start_vtime + machine.spawn_cost * rank)
+    if join_payload is None:
+        config = spec.config
+        clock = VClock(spec.start_vtime + machine.spawn_cost * rank)
+    else:
+        config = join_payload["step"].config
+        # un-parking is the elastic analogue of a spawn: the joiner's
+        # clock starts at the transition epoch plus the spawn cost.
+        clock = VClock(join_payload["epoch"] + machine.spawn_cost)
     clock.contention = machine.contention_factor(rank, config.nranks)
     comm = ProcCommunicator(rank, config.nranks, machine, task.channels)
     rankctx = RankContext(rank=rank, nranks=config.nranks, clock=clock,
                           comm=comm)
     _bind(rankctx)
     manager: shm.SegmentManager | None = None
+    instance = None
+    ctx = None
     status, data = _ERROR, "rank reported nothing"
     try:
-        ctx = task.backend.make_context(spec, services, rankctx=rankctx)
+        reshaper = ProcessReshaper(task, comm, machine, rank)
+        ctx = task.backend.make_context(spec, services, rankctx=rankctx,
+                                        reshaper=reshaper)
         instance = spec.woven(*spec.ctor_args, **spec.ctor_kwargs)
-        manager = _place_shared_fields(ctx, instance, comm, task.launch_id)
+        if join_payload is None:
+            manager, meta = _place_shared_fields(ctx, instance, comm,
+                                                 task.launch_id)
+            reshaper.segment_meta = meta
+        else:
+            meta = join_payload["segments"]
+            manager = _attach_shared_fields(ctx, instance, meta,
+                                            task.launch_id)
+            reshaper.segment_meta = meta
+            ctx.config = config
+            ctx.replay = JoinReplay(
+                join_payload["count"], reshaper,
+                ReshapePlan(join_payload["old_n"], config.nranks),
+                join_payload["step"])
         ctx.bind(instance)
         result = getattr(instance, spec.entry)(*spec.entry_args)
         if rank == 0:
             ctx.ckpt_flush_barrier()
         status, data = _COMPLETED, result
+    except RankRetired:
+        status, data = _RETIRED, None
     except AdaptationExit as ae:
         status, data = _ADAPTED, (ae.snapshot, ae.new_config)
     except InjectedFailure as fail:
@@ -218,6 +374,37 @@ def _rank_main(rank: int, task: _ChildTask) -> None:
                 except Exception:  # noqa: BLE001 - cleanup must not mask
                     pass
             manager.close_all()
+    records = list(ctx.reshapes) if ctx is not None else []
+    return status, data, clock.now, records
+
+
+def _rank_main(rank: int, task: _ChildTask) -> None:
+    """One rank's life: active segments interleaved with parked waits.
+
+    Ranks below the launch configuration's count start active; the
+    surplus (pre-forked up to ``max_ranks``) park on their control
+    channel.  A segment that ends in retirement re-parks — its events
+    ship to the parent immediately so no timeline is lost — and a later
+    un-park starts the next segment.  Any terminal segment end posts the
+    one final report and exits.
+    """
+    parked = rank >= task.spec.config.nranks
+    join_payload: dict | None = None
+    log = EventLog()
+    while True:
+        if parked:
+            ctrl = _wait_for_control(task.channels[rank])
+            if ctrl is None or ctrl["kind"] == "stop":
+                return  # phase over; parked ranks exit without a report
+            join_payload = ctrl
+            parked = False
+        status, data, end_vtime, records = _run_rank_segment(
+            rank, task, log, join_payload)
+        if status == _RETIRED:
+            task.notify_queue.put(("events", rank, list(log)))
+            log = EventLog()
+            parked, join_payload = True, None
+            continue
         # NB: the communicator is deliberately NOT closed here.  Exit
         # must wait for the queue feeders to flush: a peer may still be
         # draining collective payloads this rank sent (member 0 gathers
@@ -225,7 +412,8 @@ def _rank_main(rank: int, task: _ChildTask) -> None:
         # join would drop them.  The parent drains leftover channel
         # traffic before joining, so a flushing exit cannot block.
         task.result_queue.put(
-            (rank, status, data, clock.now, list(log)))
+            (rank, status, data, end_vtime, list(log), records))
+        return
 
 
 class MultiprocessBackend(ExecutionBackend):
@@ -234,7 +422,12 @@ class MultiprocessBackend(ExecutionBackend):
     Honest capabilities: rank collectives yes (bridged over process
     mailboxes), team regions no (a rank is one process, one line of
     execution — pin ``HYBRID`` shapes to the simulated backends
-    instead), shared fields yes.
+    instead), shared fields yes, elastic ranks yes (parked-process
+    membership transitions).
+
+    ``max_ranks`` optionally widens the pre-sized elastic fabric beyond
+    what the adaptation plan implies (for externally requested grows);
+    a reshape past the fabric falls back to relaunch.
     """
 
     name = "multiproc"
@@ -243,44 +436,75 @@ class MultiprocessBackend(ExecutionBackend):
     modes = (Mode.DISTRIBUTED,)
 
     def __init__(self, start_method: str | None = None,
-                 join_timeout: float = 120.0) -> None:
+                 join_timeout: float = 120.0,
+                 max_ranks: int | None = None) -> None:
         self.start_method = start_method or _preferred_start_method()
         self.join_timeout = join_timeout
+        self.max_ranks = max_ranks
 
     def capabilities(self, config: ExecConfig) -> Capabilities:
-        return Capabilities(rank_collectives=True, shared_fields=True)
+        return Capabilities(rank_collectives=True, shared_fields=True,
+                            elastic_ranks=True)
+
+    def calibrate(self, machine):
+        """Fork + queue-transport costs instead of the modelled network.
+
+        This backend's wall-clock behaviour is process creation and
+        pickling through OS pipes on one host; the advisor ranks reshape
+        against relaunch with these constants (see
+        :data:`repro.vtime.machine.PROCESS_RANKS_CALIBRATION`).
+        """
+        return machine.with_(**PROCESS_RANKS_CALIBRATION)
 
     # ------------------------------------------------------------------
+    def _fabric_size(self, spec: PhaseSpec) -> int:
+        """Ranks to pre-fork: the launch shape plus every in-place
+        rank count the plan can reshape to on this backend."""
+        best = spec.config.nranks
+        for s in spec.plan.steps:
+            c = s.config
+            if (c.mode is spec.config.mode and c.backend == spec.config.backend
+                    and not s.via_restart and s.in_place is not False):
+                best = max(best, c.nranks)
+        if self.max_ranks is not None:
+            best = max(best, self.max_ranks)
+        return best
+
     def launch(self, spec: PhaseSpec, services: PhaseServices
                ) -> PhaseOutcome:
         n = spec.config.nranks
+        max_ranks = self._fabric_size(spec)
         mpctx = mp.get_context(self.start_method)
         launch_id = shm.new_launch_id()
-        channels = [mpctx.Queue() for _ in range(n)]
+        channels = [mpctx.Queue() for _ in range(max_ranks)]
         result_queue = mpctx.Queue()
-        funnel = CheckpointFunnel(services.store, mpctx, n)
+        notify_queue = mpctx.Queue()
+        funnel = CheckpointFunnel(services.store, mpctx, max_ranks)
         procs: list = []
         try:
-            for r in range(n):
+            for r in range(max_ranks):
                 task = _ChildTask(r, spec, services, self, channels,
-                                  result_queue, funnel.client(r), launch_id)
+                                  result_queue, notify_queue,
+                                  funnel.client(r), launch_id, max_ranks)
                 p = mpctx.Process(target=_rank_main, args=(r, task),
                                   daemon=True, name=f"mp-rank-{r}")
                 procs.append(p)
                 p.start()
             # serve checkpoints only after all forks: no duplicated thread.
             funnel.start()
-            reports = self._collect(procs, result_queue, n)
+            reports, stray_events, active = self._collect(
+                procs, result_queue, notify_queue, n)
         finally:
             # drain before joining: exiting workers block until their
             # queue feeders flush, and nothing reads the rank channels
             # any more once the phase outcome is decided.
-            self._drain(channels)
+            self._drain(channels + [notify_queue])
+            self._stop_parked(procs, channels)
             self._reap(procs)
             funnel.stop()
-            self._drain(channels + [result_queue], close=True)
+            self._drain(channels + [result_queue, notify_queue], close=True)
             self._unlink_segments(spec, launch_id)
-        self._merge_events(services.log, reports)
+        self._merge_events(services.log, reports, stray_events)
         end = max([spec.start_vtime]
                   + [rep[3] for rep in reports.values() if rep[3] is not None])
         if any(rep[1] == _FAILED for rep in reports.values()):
@@ -291,22 +515,51 @@ class MultiprocessBackend(ExecutionBackend):
             # still happened (thread backends share the injector object
             # and remember it the same way).
             spec.injector.mark_fired()
-        return self._outcome(reports, n, end)
+        return self._outcome(reports, end)
 
     # ------------------------------------------------------------------
-    def _collect(self, procs, result_queue, n: int) -> dict:
-        """Gather one report per rank; cut stragglers loose on failure.
+    def _collect(self, procs, result_queue, notify_queue, n0: int
+                 ) -> tuple[dict, list, set]:
+        """Gather one report per *active* rank; cut stragglers loose on
+        failure.
 
-        Cooperative unwinds arrive from every rank (plans and injectors
-        are evaluated locally at the same safe point).  A rank-scoped
-        failure or a crash leaves peers blocked in a collective, so once
-        a failure report (or a dead child without a report) shows up,
-        peers get a grace period and are then terminated.
+        The active set starts as the launch configuration's ranks and
+        follows the reshape notifications rank 0 posts before each
+        membership switch (the switch fence orders the notification
+        before anything the new membership sends).  Parked ranks never
+        report; retired ranks ship their event timeline through the
+        notify queue when they re-park.
         """
         reports: dict[int, tuple] = {}
+        stray_events: list = []
+        active = set(range(n0))
         deadline = time.monotonic() + self.join_timeout
         failure_seen_at: float | None = None
-        while len(reports) < n:
+
+        def _drain_notify() -> None:
+            nonlocal active
+            try:
+                while True:
+                    note = notify_queue.get_nowait()
+                    if note[0] == "reshape":
+                        active = set(range(note[3]))
+                    elif note[0] == "events":
+                        stray_events.extend(note[2])
+            except _queue.Empty:
+                pass
+
+        while True:
+            _drain_notify()
+            missing = [r for r in sorted(active) if r not in reports]
+            if not missing:
+                # cross-check against rank 0's authoritative reshape
+                # records: a notify could in principle still be in a
+                # queue feeder while the final reports are already in.
+                final_n = self._final_membership(reports, n0)
+                if len(active) != final_n:
+                    active = set(range(final_n))
+                    continue
+                break
             try:
                 rep = result_queue.get(timeout=0.05)
                 reports[rep[0]] = rep
@@ -316,9 +569,9 @@ class MultiprocessBackend(ExecutionBackend):
             except _queue.Empty:
                 pass
             now = time.monotonic()
-            dead = [r for r, p in enumerate(procs)
-                    if r not in reports and not p.is_alive()
-                    and p.exitcode is not None]
+            dead = [r for r in sorted(active)
+                    if r not in reports and not procs[r].is_alive()
+                    and procs[r].exitcode is not None]
             if dead:
                 # a rank can flush its report and exit between the poll
                 # above and the liveness scan: drain once more before
@@ -338,24 +591,45 @@ class MultiprocessBackend(ExecutionBackend):
                     reports[r] = (r, _ERROR,
                                   f"rank {r} died with exit code "
                                   f"{p.exitcode} before reporting",
-                                  None, [])
+                                  None, [], [])
                     if failure_seen_at is None:
                         failure_seen_at = now
             if failure_seen_at is not None \
                     and now - failure_seen_at > _PEER_GRACE_SECONDS:
-                for r, p in enumerate(procs):
+                for r in sorted(active):
                     if r not in reports:
-                        p.terminate()
+                        procs[r].terminate()
                         reports[r] = (r, _ERROR, _TERMINATED_FALLOUT,
-                                      None, [])
+                                      None, [], [])
                 break
             if now > deadline:
-                for r, p in enumerate(procs):
+                for r in sorted(active):
                     if r not in reports:
-                        p.terminate()
-                        reports[r] = (r, _ERROR, f"rank {r} hung", None, [])
+                        procs[r].terminate()
+                        reports[r] = (r, _ERROR, f"rank {r} hung",
+                                      None, [], [])
                 break
-        return reports
+        return reports, stray_events, active
+
+    @staticmethod
+    def _final_membership(reports: dict, n0: int) -> int:
+        """The rank count after rank 0's last recorded rank reshape."""
+        rep = reports.get(0)
+        if rep is None or len(rep) < 6:
+            return n0
+        resh = [r for r in rep[5]
+                if r.extra.get("kind") == "rank_reshape"]
+        return resh[-1].to_config.nranks if resh else n0
+
+    @staticmethod
+    def _stop_parked(procs, channels) -> None:
+        """Release every still-parked process from its control wait."""
+        for r, p in enumerate(procs):
+            if p.is_alive():
+                try:
+                    channels[r].put({"kind": "stop"})
+                except (OSError, ValueError):
+                    pass
 
     @staticmethod
     def _reap(procs) -> None:
@@ -404,29 +678,35 @@ class MultiprocessBackend(ExecutionBackend):
             shm.unlink_by_name(shm.segment_name(launch_id, f))
 
     @staticmethod
-    def _merge_events(log: EventLog, reports: dict) -> None:
+    def _merge_events(log: EventLog, reports: dict, stray: list) -> None:
         """Interleave every rank's event stream into the runtime log by
-        virtual time (stable, so intra-rank order is preserved)."""
-        merged = sorted((ev for rep in reports.values() for ev in rep[4]),
-                        key=lambda ev: ev.vtime)
+        virtual time (stable, so intra-rank order is preserved).
+        ``stray`` carries the timelines retired ranks shipped when they
+        re-parked."""
+        streams = [ev for rep in reports.values() for ev in rep[4]]
+        merged = sorted(streams + list(stray), key=lambda ev: ev.vtime)
         for ev in merged:
             log.emit(ev.kind, vtime=ev.vtime, rank=ev.rank, **ev.data)
 
     # ------------------------------------------------------------------
-    def _outcome(self, reports: dict, n: int, end: float) -> PhaseOutcome:
+    def _outcome(self, reports: dict, end: float) -> PhaseOutcome:
         """The most informative phase end across ranks, normalised.
 
         Preference order matches the simulated cluster: an adaptation
         carrying the snapshot beats one without, which beats an injected
         failure; anything else is genuine wreckage and raises.
         """
+        reshapes = []
+        if 0 in reports and len(reports[0]) >= 6:
+            reshapes = list(reports[0][5])
         by_status: dict[str, list] = {}
         for r in sorted(reports):
             rep = reports[r]
             by_status.setdefault(rep[1], []).append(rep)
         if len(by_status) == 1 and _COMPLETED in by_status:
             value = reports[0][2] if 0 in reports else None
-            return PhaseOutcome(PHASE_COMPLETED, end, value=value)
+            return PhaseOutcome(PHASE_COMPLETED, end, value=value,
+                                reshapes=reshapes)
         adapted = by_status.get(_ADAPTED, [])
         with_snap = [rep for rep in adapted if rep[2][0] is not None]
         pick = with_snap[0] if with_snap else (adapted[0] if adapted else None)
@@ -445,4 +725,5 @@ class MultiprocessBackend(ExecutionBackend):
             raise RankFailure(first[0], RuntimeError(first[2]))
         out = self.normalise_unwind(exc, end)
         assert out is not None
+        out.reshapes = reshapes
         return out

@@ -20,12 +20,18 @@ class ThreadTeamBackend(ExecutionBackend):
     ``launch``, its clock seeded to the phase start, and every worker
     thread joined in the ``finally`` on all paths, so adaptation chains
     and restarts cannot accumulate leaked workers.
+
+    ``elastic_ranks``: a team's workers *are* its processing elements —
+    the existing :class:`~repro.smp.team.ResizeOp` malleability already
+    reshapes that dimension at safe points without a relaunch, so the
+    backend advertises the elastic capability and the safe-point
+    protocol records those resizes as in-place reshapes.
     """
 
     name = "threads"
 
     def capabilities(self, config: ExecConfig) -> Capabilities:
-        return Capabilities(team_regions=True)
+        return Capabilities(team_regions=True, elastic_ranks=True)
 
     def launch(self, spec: PhaseSpec, services: PhaseServices
                ) -> PhaseOutcome:
@@ -38,11 +44,12 @@ class ThreadTeamBackend(ExecutionBackend):
                 value = self.run_entry(ctx, spec)
                 ctx.ckpt_flush_barrier()
                 return PhaseOutcome(PHASE_COMPLETED, self._end(team, spec),
-                                    value=value)
+                                    value=value, reshapes=ctx.reshapes)
             except BaseException as exc:  # noqa: BLE001 - normalised below
                 out = self.normalise_unwind(exc, self._end(team, spec))
                 if out is None:
                     raise
+                out.reshapes = ctx.reshapes
                 return out
         finally:
             team.shutdown()

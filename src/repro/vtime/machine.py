@@ -180,6 +180,20 @@ class MachineModel:
         return replace(self, **kw)
 
 
+#: Per-backend cost-model calibration for process-rank substrates
+#: (consumed through ``ExecutionBackend.calibrate``): rank creation is a
+#: ``fork`` + interpreter warm-up, not a thread spawn, and every message
+#: is a pickle through an OS pipe on one host — milliseconds and tens of
+#: microseconds where the simulated cluster models microseconds and a
+#: network.  The advisor ranks reshape-vs-relaunch transitions with
+#: these constants; they never feed a running phase's virtual clocks.
+PROCESS_RANKS_CALIBRATION: dict = {
+    "spawn_cost": 8e-3,  # fork + child start-up, JVM/job-submit class
+    "network": NetworkModel(
+        intra_latency=60e-6, intra_bandwidth=1.2e9,   # queue + pickle
+        inter_latency=60e-6, inter_bandwidth=1.2e9),  # one host: no tiers
+}
+
 #: The paper's testbed for the distributed experiments (2 x 24 cores).
 PAPER_CLUSTER = MachineModel(nodes=2, cores_per_node=24)
 

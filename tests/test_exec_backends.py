@@ -122,17 +122,22 @@ class TestRegistry:
     def test_capability_declarations(self):
         assert SequentialBackend().capabilities(ExecConfig.sequential()) \
             == Capabilities()
+        # the team's workers are its elastic PE dimension (ResizeOp).
         assert ThreadTeamBackend().capabilities(ExecConfig.shared(2)) \
-            == Capabilities(team_regions=True)
+            == Capabilities(team_regions=True, elastic_ranks=True)
+        # simulated nodes can be added/retired at safe points in place.
         assert SimClusterBackend().capabilities(ExecConfig.distributed(2)) \
-            == Capabilities(rank_collectives=True)
+            == Capabilities(rank_collectives=True, elastic_ranks=True)
+        # hybrid reshapes its team dimension live but rank-count changes
+        # still relaunch (no elastic protocol across team'd ranks yet).
         assert HybridBackend().capabilities(ExecConfig.hybrid(2, 2)) \
             == Capabilities(team_regions=True, rank_collectives=True)
         # honest multiprocessing capabilities: collectives and shared
         # fields yes, team regions no (one process = one line of
-        # execution).
+        # execution); elastic via parked pre-forked processes.
         assert MultiprocessBackend().capabilities(MULTIPROC) \
-            == Capabilities(rank_collectives=True, shared_fields=True)
+            == Capabilities(rank_collectives=True, shared_fields=True,
+                            elastic_ranks=True)
 
     def test_multiproc_registered_by_name_not_mode_default(self):
         reg = build_default_registry()
