@@ -17,6 +17,15 @@ written so the worker's virtual-time accounting matches what a
 single-process run would charge.  Restart and adaptation chains then
 work identically under every backend: the bytes on disk are produced by
 the same store object either way.
+
+Snapshot *bytes* ride the shared-memory data plane when the worker has
+one (:class:`~repro.dsm.shm.DataPlane`): large array fields are copied
+into leased slabs and the request queue carries only descriptors — the
+parent copies them out, recycles the slots, and writes.  The write RPC
+is synchronous (the worker blocks on the ack), so the slab borrow is
+bounded and the field values the parent encodes are exactly the
+captured ones; checkpoint bytes are bit-identical with and without the
+plane.
 """
 
 from __future__ import annotations
@@ -24,18 +33,50 @@ from __future__ import annotations
 import queue as _queue
 import threading
 import traceback
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
-from repro.ckpt.snapshot import KIND_FULL
+from repro.ckpt.snapshot import KIND_FULL, Snapshot
+from repro.dsm.shm import PoolClient, ShmRef
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.ckpt.snapshot import Snapshot
     from repro.ckpt.store import CheckpointStore
+    from repro.dsm.shm import DataPlane
 
 _OP_WRITE = "write"
 _OP_FLUSH = "flush"
 _OP_STOP = "stop"
+
+
+@dataclass
+class PackedSnapshot:
+    """A snapshot whose large array fields travelled as slab refs.
+
+    Only C-contiguous non-object arrays are packed — everything else
+    stays inline — so unpacking reproduces bit-identical field values
+    (and therefore bit-identical checkpoint bytes) in the parent.
+    """
+
+    app: str
+    safepoint_count: int
+    mode: str
+    meta: dict[str, Any]
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def pack(snap: Snapshot, plane: "DataPlane") -> "PackedSnapshot":
+        plane.start_pack()  # one snapshot = one lease budget
+        fields = {name: plane.pack_exact(value)
+                  for name, value in snap.fields.items()}
+        return PackedSnapshot(app=snap.app,
+                              safepoint_count=snap.safepoint_count,
+                              mode=snap.mode, meta=snap.meta, fields=fields)
+
+    def unpack(self, client: PoolClient) -> Snapshot:
+        fields = {name: client.fetch(v) if isinstance(v, ShmRef) else v
+                  for name, v in self.fields.items()}
+        return Snapshot(app=self.app, safepoint_count=self.safepoint_count,
+                        fields=fields, mode=self.mode, meta=self.meta)
 
 
 @dataclass
@@ -53,6 +94,8 @@ class CheckpointFunnel:
         self.requests = mpctx.Queue()
         self.acks = [mpctx.Queue() for _ in range(nranks)]
         self._thread: threading.Thread | None = None
+        #: attach cache over the workers' slab rings (descriptor unpack).
+        self._client = PoolClient()
 
     # ------------------------------------------------------------------
     def client(self, rank: int) -> "FunnelStore":
@@ -76,6 +119,7 @@ class CheckpointFunnel:
         self.requests.put((_OP_STOP, 0, None, None))
         self._thread.join(timeout=30.0)
         self._thread = None
+        self._client.close_all()
 
     # ------------------------------------------------------------------
     def _serve(self) -> None:
@@ -88,6 +132,8 @@ class CheckpointFunnel:
                 return
             try:
                 if op == _OP_WRITE:
+                    if isinstance(payload, PackedSnapshot):
+                        payload = payload.unpack(self._client)
                     target = (self.store if shard_rank is None
                               else self.store.shard(shard_rank))
                     target.write(payload)
@@ -124,6 +170,9 @@ class FunnelStore:
         self.writer = _WriterShim(depth) if self._is_async else None
         self.last_write_nbytes = 0
         self.last_write_kind = KIND_FULL
+        #: the rank's shared-memory data plane, wired post-fork by the
+        #: worker (the client objects themselves are built pre-fork).
+        self.plane: "DataPlane | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -133,9 +182,11 @@ class FunnelStore:
     def shard(self, rank: int) -> "FunnelStore":
         if self._shard_rank is not None:
             raise ValueError("shard stores cannot be sharded again")
-        return FunnelStore(rank=self.rank, requests=self._requests,
-                           ack=self._ack, is_async=False, depth=0,
-                           shard_rank=rank)
+        sub = FunnelStore(rank=self.rank, requests=self._requests,
+                          ack=self._ack, is_async=False, depth=0,
+                          shard_rank=rank)
+        sub.plane = self.plane
+        return sub
 
     # ------------------------------------------------------------------
     def _rpc(self, op: str, payload) -> tuple[int, str]:
@@ -146,7 +197,12 @@ class FunnelStore:
         return a, b
 
     def write(self, snap: "Snapshot") -> None:
-        nbytes, kind = self._rpc(_OP_WRITE, snap)
+        payload: "Snapshot | PackedSnapshot" = snap
+        if self.plane is not None:
+            # large array fields ride slabs; the synchronous ack below
+            # bounds the lease (the parent recycles before replying).
+            payload = PackedSnapshot.pack(snap, self.plane)
+        nbytes, kind = self._rpc(_OP_WRITE, payload)
         self.last_write_nbytes = nbytes
         self.last_write_kind = kind
 

@@ -8,10 +8,21 @@ ranks never alias each other's buffers (value semantics, like real MPI).
 
 Every operation charges virtual time: the sender computes the arrival time
 from the machine's network model (placement-aware: intra- vs inter-node);
-the receiver couples its clock to it.  Collectives are implemented with
-real point-to-point messages through the root — a flat algorithm whose
-linear-in-P root cost is exactly the behaviour the paper's Figure 4/5
-discussion describes for collecting checkpoint data at the master.
+the receiver couples its clock to it.
+
+Collective algorithms are selectable (``MachineModel.coll_algo``):
+
+* ``"flat"`` (default) — real point-to-point messages through the root,
+  a flat algorithm whose linear-in-P root cost is exactly the behaviour
+  the paper's Figure 4/5 discussion describes for collecting checkpoint
+  data at the master.  The default, so the paper's numbers reproduce
+  unchanged.
+* ``"tree"`` — binomial-tree bcast / gather / reduce
+  (``ceil(log2 P)`` rounds).  Costs are not separately modelled: every
+  tree edge is a real ``send``/``recv`` pair, so each algorithm charges
+  virtual time faithfully by construction.  Tree reduce assumes an
+  associative ``op`` (it folds subtree-wise, in a deterministic order
+  that differs from the flat left fold).
 """
 
 from __future__ import annotations
@@ -79,6 +90,7 @@ class Communicator:
             raise ValueError("one clock per rank required")
         self.nranks = nranks
         self.machine = machine
+        self.coll_algo = getattr(machine, "coll_algo", "flat")
         self.clocks = list(clocks)
         self.mailboxes = [Mailbox(r) for r in range(nranks)]
         self._barrier = AdaptiveBarrier(nranks) if nranks > 1 else None
@@ -125,6 +137,23 @@ class Communicator:
         self._barrier = AdaptiveBarrier(new_n) if new_n > 1 else None
 
     # ------------------------------------------------------------------
+    # transport hooks (overridden by descriptor-based data planes)
+    # ------------------------------------------------------------------
+    def _egress(self, obj: Any, owned: bool) -> Any:
+        """What actually enters the destination mailbox for ``obj``.
+
+        The base transport delivers by reference within one address
+        space, so value semantics require a defensive copy — unless the
+        sender *owns* the payload (``_send_owned``: a freshly built
+        staging buffer nothing else aliases).
+        """
+        return obj if owned else _copy_payload(obj)
+
+    def _ingress(self, msg: Message) -> Any:
+        """Resolve a delivered envelope into the received object."""
+        return msg.payload
+
+    # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -135,17 +164,30 @@ class Communicator:
         back-to-back — the behaviour behind the paper's Figure 5 comment
         that restart data "must be scattered across processors".
         """
+        self._send(obj, dest, tag, owned=False)
+
+    def _send_owned(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a payload the caller provably no longer aliases.
+
+        Skips the defensive copy: correct only for freshly built staging
+        buffers (``np.take`` results, gathered parts) that the sender
+        never touches again — partition movements qualify, arbitrary
+        user payloads do not.  Identical cost accounting to :meth:`send`.
+        """
+        self._send(obj, dest, tag, owned=True)
+
+    def _send(self, obj: Any, dest: int, tag: int, owned: bool) -> None:
         ctx = self._ctx()
         if not (0 <= dest < self.nranks):
             raise ValueError(f"bad destination rank {dest}")
         if dest == ctx.rank:
             raise ValueError("self-send would deadlock a blocking pair")
-        nbytes = nbytes_of(obj)
+        nbytes = nbytes_of(obj)  # logical size: transport-independent cost
         cost = self.machine.p2p_cost(nbytes, ctx.rank, dest)
         ctx.clock.charge_comm(cost)
         self.mailboxes[dest].put(Message(
             src=ctx.rank, dst=dest, tag=tag,
-            payload=_copy_payload(obj), nbytes=nbytes,
+            payload=self._egress(obj, owned), nbytes=nbytes,
             arrival=ctx.clock.now))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
@@ -165,7 +207,7 @@ class Communicator:
             self.machine.network.p2p_cost(msg.nbytes, same)
             - (self.machine.network.intra_latency if same
                else self.machine.network.inter_latency))
-        return msg.payload
+        return self._ingress(msg)
 
     def sendrecv(self, obj: Any, dest: int, source: int,
                  tag: int = 0) -> Any:
@@ -190,10 +232,78 @@ class Communicator:
         ctx.clock.advance_to(self._epoch)
         ctx.clock.charge_comm(self.machine.oversub_epoch_cost(self.nranks))
 
+    # ------------------------------------------------------------------
+    # binomial-tree helpers: ranks are relabelled so the root is virtual
+    # rank 0; every edge is a real send/recv pair, so each algorithm's
+    # virtual-time cost emerges from the network model untouched.
+    # ------------------------------------------------------------------
+    def _vrank(self, rank: int, root: int) -> int:
+        return (rank - root) % self.nranks
+
+    def _actual(self, vrank: int, root: int) -> int:
+        return (vrank + root) % self.nranks
+
+    def _tree_bcast(self, obj: Any, root: int) -> Any:
+        ctx = self._ctx()
+        n = self.nranks
+        vr = self._vrank(ctx.rank, root)
+        mask = 1
+        while mask < n:  # receive from the parent (lowest set bit)
+            if vr & mask:
+                obj = self.recv(source=self._actual(vr - mask, root),
+                                tag=TAG_COLL + 1)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:  # relay down the subtree, widest child first
+            if vr + mask < n:
+                self.send(obj, self._actual(vr + mask, root), TAG_COLL + 1)
+            mask >>= 1
+        return obj
+
+    def _tree_gather(self, obj: Any, root: int) -> list[Any] | None:
+        ctx = self._ctx()
+        n = self.nranks
+        vr = self._vrank(ctx.rank, root)
+        got: dict[int, Any] = {ctx.rank: _copy_payload(obj)}
+        mask = 1
+        while mask < n:
+            if vr & mask:  # forward the collected subtree to the parent
+                self._send_owned(got, self._actual(vr - mask, root),
+                                 TAG_COLL + 3)
+                return None
+            src = vr + mask
+            if src < n:
+                got.update(self.recv(source=self._actual(src, root),
+                                     tag=TAG_COLL + 3))
+            mask <<= 1
+        return [got[r] for r in sorted(got)] if n > 1 else [got[ctx.rank]]
+
+    def _tree_reduce(self, obj: Any, fold: Callable[[Any, Any], Any],
+                     root: int) -> Any | None:
+        ctx = self._ctx()
+        n = self.nranks
+        vr = self._vrank(ctx.rank, root)
+        acc = _copy_payload(obj)
+        mask = 1
+        while mask < n:
+            if vr & mask:
+                self._send_owned(acc, self._actual(vr - mask, root),
+                                 TAG_COLL + 3)
+                return None
+            src = vr + mask
+            if src < n:  # deterministic order: nearest subtree first
+                acc = fold(acc, self.recv(
+                    source=self._actual(src, root), tag=TAG_COLL + 3))
+            mask <<= 1
+        return acc
+
     def bcast(self, obj: Any, root: int = 0) -> Any:
         ctx = self._ctx()
         if self.nranks == 1:
             return obj
+        if self.coll_algo == "tree":
+            return self._tree_bcast(obj, root)
         if ctx.rank == root:
             for r in range(self.nranks):
                 if r != root:
@@ -216,6 +326,8 @@ class Communicator:
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         ctx = self._ctx()
+        if self.coll_algo == "tree" and self.nranks > 1:
+            return self._tree_gather(obj, root)
         if ctx.rank == root:
             out: list[Any] = [None] * self.nranks
             out[root] = _copy_payload(obj)
@@ -228,7 +340,7 @@ class Communicator:
                 msg = self.mailboxes[ctx.rank].get(source=src,
                                                    tag=TAG_COLL + 3)
                 ctx.clock.wait_comm(msg.arrival)
-                out[src] = msg.payload
+                out[src] = self._ingress(msg)
             return out
         self.send(obj, root, TAG_COLL + 3)
         return None
@@ -239,13 +351,22 @@ class Communicator:
 
     def reduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None,
                root: int = 0) -> Any | None:
-        """Fold ``op`` (default: +, elementwise for arrays) at ``root``."""
+        """Fold ``op`` (default: +, elementwise for arrays) at ``root``.
+
+        Flat: gather everything at the root and left-fold in rank order.
+        Tree: partial results combine up the binomial tree — moves
+        ``O(log P)`` payloads per member instead of ``P`` through the
+        root, at the price of a subtree-wise (associativity-assuming)
+        fold order.
+        """
         ctx = self._ctx()
+        fold = op if op is not None else _default_add
+        if self.coll_algo == "tree" and self.nranks > 1:
+            return self._tree_reduce(obj, fold, root)
         vals = self.gather(obj, root=root)
         if ctx.rank != root:
             return None
         assert vals is not None
-        fold = op if op is not None else _default_add
         acc = vals[0]
         for v in vals[1:]:
             acc = fold(acc, v)
@@ -269,7 +390,7 @@ class Communicator:
                 continue
             msg = self.mailboxes[ctx.rank].get(source=src, tag=TAG_COLL + 4)
             ctx.clock.wait_comm(msg.arrival)
-            out[src] = msg.payload
+            out[src] = self._ingress(msg)
         return out
 
 

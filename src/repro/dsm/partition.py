@@ -130,8 +130,10 @@ def scatter_blocks(comm: "Communicator", arr: np.ndarray | None,
         for r in range(comm.nranks):
             if r == root:
                 continue
+            # ``np.take`` builds a fresh staging buffer nothing else
+            # aliases: the owned send skips the defensive copy.
             part = _take(arr, layout.owned(n, r, comm.nranks), layout.axis)
-            comm.send((meta, part), r, _TAG_SCATTER)
+            comm._send_owned((meta, part), r, _TAG_SCATTER)
         return _take(arr, layout.owned(n, root, comm.nranks), layout.axis)
     _meta, part = comm.recv(source=root, tag=_TAG_SCATTER)
     return part
@@ -195,7 +197,8 @@ def scatter_inplace(comm: "Communicator", arr: np.ndarray, layout: Layout,
             if r == root:
                 continue
             idx = layout.owned(n, r, comm.nranks)
-            comm.send(_take(arr, idx, layout.axis), r, _TAG_SCATTER)
+            # fresh ``np.take`` staging buffer: owned, no defensive copy
+            comm._send_owned(_take(arr, idx, layout.axis), r, _TAG_SCATTER)
     else:
         idx = layout.owned(n, ctx.rank, comm.nranks)
         part = comm.recv(source=root, tag=_TAG_SCATTER)
@@ -219,7 +222,8 @@ def gather_inplace(comm: "Communicator", arr: np.ndarray, layout: Layout,
             _put(arr, layout.owned(n, src, comm.nranks), layout.axis, part)
     else:
         idx = layout.owned(n, ctx.rank, comm.nranks)
-        comm.send(_take(arr, idx, layout.axis), root, _TAG_GATHER)
+        # fresh ``np.take`` staging buffer: owned, no defensive copy
+        comm._send_owned(_take(arr, idx, layout.axis), root, _TAG_GATHER)
 
 
 def exchange_halo(comm: "Communicator", arr: np.ndarray,

@@ -22,12 +22,14 @@ address spaces there is no clock list to ``sync_max`` over.
 from __future__ import annotations
 
 import queue as _queue
-from typing import TYPE_CHECKING
+import time
+from typing import TYPE_CHECKING, Any
 
 from repro.dsm.comm import TAG_COLL, Communicator
 from repro.dsm.mailbox import ANY_SOURCE, ANY_TAG, MailboxClosed, Message
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsm.shm import DataPlane
     from repro.vtime.machine import MachineModel
 
 #: collective-plumbing tags private to the process transport.
@@ -65,20 +67,46 @@ class ProcessMailbox:
 
         Per-(source, tag) FIFO order is preserved: non-matching arrivals
         are buffered in order and re-scanned first on the next call.
+
+        ``timeout`` bounds the *whole* call with one monotonic deadline:
+        every channel wait gets only the remaining budget, so a rank
+        waiting on a busy mailbox (non-matching envelopes trickling in)
+        cannot block past its deadline — each arrival used to restart
+        the full timeout.
         """
         for i, m in enumerate(self._pending):
             if self._matches(m, source, tag):
                 return self._pending.pop(i)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         while True:
             if self._closed:
                 raise MailboxClosed(f"mailbox {self.rank} is closed")
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # expiry still owes one non-blocking poll: a match
+                    # already delivered to the channel (just not yet
+                    # drained into the pending buffer) must be returned,
+                    # exactly as timeout=0 on a bare queue would.
+                    while True:
+                        try:
+                            m = self._channel.get_nowait()
+                        except _queue.Empty:
+                            break
+                        if self._matches(m, source, tag):
+                            return m
+                        self._pending.append(m)
+                    raise TimeoutError(
+                        f"rank {self.rank}: no message from src={source} "
+                        f"tag={tag} after {timeout}s (pending: "
+                        f"{[(p.src, p.tag) for p in self._pending]})")
             try:
-                m = self._channel.get(timeout=timeout)
+                m = self._channel.get(timeout=remaining)
             except _queue.Empty:
-                raise TimeoutError(
-                    f"rank {self.rank}: no message from src={source} "
-                    f"tag={tag} after {timeout}s (pending: "
-                    f"{[(p.src, p.tag) for p in self._pending]})") from None
+                continue  # deadline check above decides expiry
             if self._matches(m, source, tag):
                 return m
             self._pending.append(m)
@@ -117,14 +145,23 @@ class ProcessMailbox:
 class ProcCommunicator(Communicator):
     """The MPI-like collective layer over per-rank process mailboxes.
 
-    Inherits every algorithm (send/recv costs, flat-tree collectives,
-    the in-place partition movements consume it unchanged); overrides
-    construction (no shared clock list) and the barrier (message-based
-    epoch agreement instead of ``VClock.sync_max`` across threads).
+    Inherits every algorithm (send/recv costs, flat and tree
+    collectives, the in-place partition movements consume it unchanged);
+    overrides construction (no shared clock list), the barrier
+    (message-based epoch agreement instead of ``VClock.sync_max`` across
+    threads), and — when a :class:`~repro.dsm.shm.DataPlane` is wired —
+    the transport hooks: large array payloads cross as shared-memory
+    slab descriptors instead of pickles through the queue pipes (and,
+    for movement code that opted a source segment in via
+    ``DataPlane.register_borrow``, as borrowed regions with zero
+    intermediate copies).  Virtual time is charged on the logical
+    payload before packing, so the cost model cannot tell the
+    transports apart (cross-backend vtime parity is preserved by
+    construction).
     """
 
     def __init__(self, rank: int, nranks: int, machine: "MachineModel",
-                 channels) -> None:
+                 channels, plane: "DataPlane | None" = None) -> None:
         if len(channels) < nranks:
             raise ValueError("one channel per rank required")
         # deliberately NOT calling super().__init__: there is no clock
@@ -136,9 +173,25 @@ class ProcCommunicator(Communicator):
         # update of ``nranks`` at a quiesced point, no new transport.
         self.nranks = nranks
         self.machine = machine
+        self.coll_algo = getattr(machine, "coll_algo", "flat")
+        self.plane = plane
         self.mailboxes = [ProcessMailbox(r, ch)
                           for r, ch in enumerate(channels)]
         self._rank = rank
+
+    # ------------------------------------------------------------------
+    def _egress(self, obj: Any, owned: bool) -> Any:
+        if self.plane is None:
+            # keep the defensive copy: mp.Queue's feeder thread pickles
+            # *after* put returns, so an un-owned payload could still be
+            # mutated by the sender while in flight.
+            return super()._egress(obj, owned)
+        return self.plane.outbound(obj, owned)
+
+    def _ingress(self, msg: Message) -> Any:
+        if self.plane is None:
+            return msg.payload
+        return self.plane.inbound(msg.payload)
 
     def reshape(self, new_n: int) -> None:
         """Adopt a new active membership (elastic protocol, quiesced).

@@ -164,8 +164,9 @@ def execute_moves(ctx: "ExecutionContext", plan: ReshapePlan, comm) -> None:
         n = arr.shape[axis]
         for mv in plan.moves(part.layout, n):
             if mv.src == me:
-                comm.send(_axis_take(arr, mv.idx, axis), mv.dst,
-                          TAG_RESHAPE_MOVE)
+                # freshly-taken staging buffer: owned, no defensive copy
+                comm._send_owned(_axis_take(arr, mv.idx, axis), mv.dst,
+                                 TAG_RESHAPE_MOVE)
             elif mv.dst == me:
                 vals = comm.recv(source=mv.src, tag=TAG_RESHAPE_MOVE)
                 _axis_put(arr, mv.idx, axis, vals)

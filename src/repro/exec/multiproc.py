@@ -79,7 +79,10 @@ from repro.exec.base import (
 )
 from repro.util.events import EventLog
 from repro.vtime.clock import VClock
-from repro.vtime.machine import PROCESS_RANKS_CALIBRATION
+from repro.vtime.machine import (
+    PROCESS_RANKS_CALIBRATION,
+    PROCESS_RANKS_SHM_CALIBRATION,
+)
 
 #: worker report statuses.
 _COMPLETED = "completed"
@@ -302,7 +305,8 @@ def _wait_for_control(channel) -> dict | None:
 
 
 def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
-                      join_payload: dict | None) -> tuple:
+                      join_payload: dict | None,
+                      plane: shm.DataPlane | None) -> tuple:
     """One active segment of a rank's life: entry to report (or re-park).
 
     Initial members run the phase entry directly; un-parked joiners run
@@ -311,6 +315,7 @@ def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
     """
     spec = task.rebuild_spec()
     machine = task.machine
+    task.store.plane = plane  # snapshot bytes ride the slab pool too
     services = PhaseServices(
         machine=machine, log=log, store=task.store,
         policy=task.policy, ckpt_strategy=task.ckpt_strategy, advisor=None)
@@ -323,7 +328,8 @@ def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
         # clock starts at the transition epoch plus the spawn cost.
         clock = VClock(join_payload["epoch"] + machine.spawn_cost)
     clock.contention = machine.contention_factor(rank, config.nranks)
-    comm = ProcCommunicator(rank, config.nranks, machine, task.channels)
+    comm = ProcCommunicator(rank, config.nranks, machine, task.channels,
+                            plane=plane)
     rankctx = RankContext(rank=rank, nranks=config.nranks, clock=clock,
                           comm=comm)
     _bind(rankctx)
@@ -387,33 +393,49 @@ def _rank_main(rank: int, task: _ChildTask) -> None:
     ship to the parent immediately so no timeline is lost — and a later
     un-park starts the next segment.  Any terminal segment end posts the
     one final report and exits.
+
+    The rank's slab pool (its half of the zero-copy data plane) belongs
+    to the *process*, not the membership: it is built once here and
+    survives park / un-park cycles, so an elastic reshape neither leaks
+    nor re-creates slabs.  The parent unlinks the deterministic slab
+    name grid in its launch ``finally`` either way.
     """
     parked = rank >= task.spec.config.nranks
     join_payload: dict | None = None
     log = EventLog()
-    while True:
-        if parked:
-            ctrl = _wait_for_control(task.channels[rank])
-            if ctrl is None or ctrl["kind"] == "stop":
-                return  # phase over; parked ranks exit without a report
-            join_payload = ctrl
-            parked = False
-        status, data, end_vtime, records = _run_rank_segment(
-            rank, task, log, join_payload)
-        if status == _RETIRED:
-            task.notify_queue.put(("events", rank, list(log)))
-            log = EventLog()
-            parked, join_payload = True, None
-            continue
-        # NB: the communicator is deliberately NOT closed here.  Exit
-        # must wait for the queue feeders to flush: a peer may still be
-        # draining collective payloads this rank sent (member 0 gathers
-        # state during a cooperative unwind), and cancelling the feeder
-        # join would drop them.  The parent drains leftover channel
-        # traffic before joining, so a flushing exit cannot block.
-        task.result_queue.put(
-            (rank, status, data, end_vtime, list(log), records))
-        return
+    plane: shm.DataPlane | None = None
+    if task.backend.data_plane:
+        plane = shm.DataPlane(
+            shm.BufferPool(task.launch_id, rank),
+            threshold=task.backend.plane_threshold)
+    try:
+        while True:
+            if parked:
+                ctrl = _wait_for_control(task.channels[rank])
+                if ctrl is None or ctrl["kind"] == "stop":
+                    return  # phase over; parked ranks exit, no report
+                join_payload = ctrl
+                parked = False
+            status, data, end_vtime, records = _run_rank_segment(
+                rank, task, log, join_payload, plane)
+            if status == _RETIRED:
+                task.notify_queue.put(("events", rank, list(log)))
+                log = EventLog()
+                parked, join_payload = True, None
+                continue
+            # NB: the communicator is deliberately NOT closed here.  Exit
+            # must wait for the queue feeders to flush: a peer may still
+            # be draining collective payloads this rank sent (member 0
+            # gathers state during a cooperative unwind), and cancelling
+            # the feeder join would drop them.  The parent drains
+            # leftover channel traffic before joining, so a flushing
+            # exit cannot block.
+            task.result_queue.put(
+                (rank, status, data, end_vtime, list(log), records))
+            return
+    finally:
+        if plane is not None:
+            plane.close()
 
 
 class MultiprocessBackend(ExecutionBackend):
@@ -428,6 +450,13 @@ class MultiprocessBackend(ExecutionBackend):
     ``max_ranks`` optionally widens the pre-sized elastic fabric beyond
     what the adaptation plan implies (for externally requested grows);
     a reshape past the fabric falls back to relaunch.
+
+    ``data_plane`` (default on) routes large array payloads — collective
+    traffic and funnelled checkpoint snapshots — through pooled
+    shared-memory slabs instead of pickling them through the queue
+    pipes; ``plane_threshold`` overrides the inline/slab crossover
+    (bytes).  Results, checkpoint bytes and virtual time are identical
+    either way: only the wall-clock transport changes.
     """
 
     name = "multiproc"
@@ -437,24 +466,34 @@ class MultiprocessBackend(ExecutionBackend):
 
     def __init__(self, start_method: str | None = None,
                  join_timeout: float = 120.0,
-                 max_ranks: int | None = None) -> None:
+                 max_ranks: int | None = None,
+                 data_plane: bool = True,
+                 plane_threshold: int | None = None) -> None:
         self.start_method = start_method or _preferred_start_method()
         self.join_timeout = join_timeout
         self.max_ranks = max_ranks
+        self.data_plane = data_plane
+        self.plane_threshold = plane_threshold
 
     def capabilities(self, config: ExecConfig) -> Capabilities:
         return Capabilities(rank_collectives=True, shared_fields=True,
                             elastic_ranks=True)
 
     def calibrate(self, machine):
-        """Fork + queue-transport costs instead of the modelled network.
+        """Fork + transport costs instead of the modelled network.
 
-        This backend's wall-clock behaviour is process creation and
-        pickling through OS pipes on one host; the advisor ranks reshape
-        against relaunch with these constants (see
-        :data:`repro.vtime.machine.PROCESS_RANKS_CALIBRATION`).
+        This backend's wall-clock behaviour is process creation plus
+        message transport on one host: pickling through OS pipes on the
+        queue path, slab memcpys with descriptor envelopes on the
+        shared-memory data plane.  The advisor ranks reshape against
+        relaunch with whichever constants match the configured transport
+        (see :data:`repro.vtime.machine.PROCESS_RANKS_CALIBRATION` /
+        :data:`repro.vtime.machine.PROCESS_RANKS_SHM_CALIBRATION`);
+        calibration never feeds a running phase's virtual clocks.
         """
-        return machine.with_(**PROCESS_RANKS_CALIBRATION)
+        constants = (PROCESS_RANKS_SHM_CALIBRATION if self.data_plane
+                     else PROCESS_RANKS_CALIBRATION)
+        return machine.with_(**constants)
 
     # ------------------------------------------------------------------
     def _fabric_size(self, spec: PhaseSpec) -> int:
@@ -503,7 +542,7 @@ class MultiprocessBackend(ExecutionBackend):
             self._reap(procs)
             funnel.stop()
             self._drain(channels + [result_queue, notify_queue], close=True)
-            self._unlink_segments(spec, launch_id)
+            self._unlink_segments(spec, launch_id, max_ranks)
         self._merge_events(services.log, reports, stray_events)
         end = max([spec.start_vtime]
                   + [rep[3] for rep in reports.values() if rep[3] is not None])
@@ -666,16 +705,19 @@ class MultiprocessBackend(ExecutionBackend):
                     pass
 
     @staticmethod
-    def _unlink_segments(spec: PhaseSpec, launch_id: str) -> None:
+    def _unlink_segments(spec: PhaseSpec, launch_id: str,
+                         max_ranks: int) -> None:
         """Remove every segment this launch can have created.
 
         Deterministic names make this independent of worker reports, so
-        it covers crashed ranks too.
+        it covers crashed ranks too: field segments by field name, data
+        plane slabs over the whole rank x slot name grid.
         """
         plugset = getattr(spec.woven, "__pp_plugs__", None)
         fields = plugset.partitioned_fields() if plugset is not None else {}
         for f in fields:
             shm.unlink_by_name(shm.segment_name(launch_id, f))
+        shm.unlink_pool(launch_id, max_ranks)
 
     @staticmethod
     def _merge_events(log: EventLog, reports: dict, stray: list) -> None:

@@ -103,6 +103,13 @@ def nbytes_of(obj: Any) -> int:
         isinstance(x, np.ndarray) for x in obj
     ):
         return int(sum(x.nbytes for x in obj))
+    if isinstance(obj, dict) and obj and all(
+        isinstance(v, np.ndarray) for v in obj.values()
+    ):
+        # tree-collective envelopes ({rank: contribution}): charging by
+        # buffer size keeps the pickle fallback — a full O(payload)
+        # serialisation just to measure it — off the send hot path.
+        return int(sum(v.nbytes for v in obj.values()))
     try:
         return len(pickle.dumps(obj, protocol=PICKLE_PROTOCOL))
     except Exception:

@@ -92,6 +92,14 @@ class MachineModel:
     oversub_thrash: float = 2.5
     #: fixed cost to spawn one thread / rank (team creation, replay entry).
     spawn_cost: float = 120e-6
+    #: collective algorithm the communicators run: ``"flat"`` (default)
+    #: is the paper's root-funnel shape — linear-in-P at the root,
+    #: exactly the Figure 4/5 checkpoint-collection behaviour — and
+    #: ``"tree"`` selects binomial-tree bcast/gather/reduce.  Virtual
+    #: time needs no separate constants per algorithm: every tree edge
+    #: is a real modelled p2p message, so each algorithm's cost emerges
+    #: from the network model faithfully.
+    coll_algo: str = "flat"
     network: NetworkModel = field(default_factory=NetworkModel)
     disk: DiskModel = field(default_factory=DiskModel)
 
@@ -192,6 +200,21 @@ PROCESS_RANKS_CALIBRATION: dict = {
     "network": NetworkModel(
         intra_latency=60e-6, intra_bandwidth=1.2e9,   # queue + pickle
         inter_latency=60e-6, inter_bandwidth=1.2e9),  # one host: no tiers
+}
+
+#: The same substrate with the zero-copy shared-memory data plane
+#: enabled (the multiprocessing backend's default): large payloads are
+#: one memcpy into a pooled slab plus a ~200-byte descriptor envelope
+#: through the queue, so effective bandwidth approaches memcpy class
+#: while the envelope keeps a queue-round-trip latency floor.  Like its
+#: queue sibling, this only feeds ``SelfAdaptationAdvisor`` transition
+#: ranking through ``ExecutionBackend.calibrate`` — never the virtual
+#: clocks of a running phase, so cross-backend vtime parity holds.
+PROCESS_RANKS_SHM_CALIBRATION: dict = {
+    "spawn_cost": 8e-3,  # rank creation is unchanged by the data plane
+    "network": NetworkModel(
+        intra_latency=25e-6, intra_bandwidth=4.5e9,   # descriptor + memcpy
+        inter_latency=25e-6, inter_bandwidth=4.5e9),  # one host: no tiers
 }
 
 #: The paper's testbed for the distributed experiments (2 x 24 cores).

@@ -352,3 +352,53 @@ class TestCompression:
         flags, blob, _ = sections["params"]
         assert flags & 0x1
         zlib.decompress(blob)  # must be a valid zlib stream
+
+
+class TestContentHashValue:
+    """The buffer-direct digest must never collide where the old
+    blob digest (over the full .npy encoding) could not."""
+
+    def test_matches_change_detection_of_blob_hash(self):
+        from repro.ckpt.delta import content_hash_value
+
+        a = np.arange(12.0).reshape(3, 4)
+        assert content_hash_value(a) == content_hash_value(a.copy())
+        b = a.copy()
+        b[1, 2] += 1e-9
+        assert content_hash_value(a) != content_hash_value(b)
+        # shape and dtype are part of the identity, not just the bytes
+        assert content_hash_value(a) != content_hash_value(a.reshape(4, 3))
+        assert content_hash_value(np.zeros(4, np.int64)) \
+            != content_hash_value(np.zeros(4, np.float64))
+        # non-contiguous views hash by value, like their encoding does
+        assert content_hash_value(a[:, ::2]) \
+            == content_hash_value(np.ascontiguousarray(a[:, ::2]))
+
+    def test_structured_dtypes_of_equal_itemsize_do_not_collide(self):
+        from repro.ckpt.delta import content_hash_value
+
+        ab = np.zeros(4, dtype=[("a", "<i4"), ("b", "<i4")])
+        xy = np.zeros(4, dtype=[("x", "<f4"), ("y", "<i4")])
+        # dtype.str collapses both to "|V8"; the digest must not
+        assert content_hash_value(ab) != content_hash_value(xy)
+
+    def test_non_array_values_hash_via_portable_encoding(self):
+        from repro.ckpt.delta import content_hash, content_hash_value
+        from repro.util.serialization import dumps_portable
+
+        v = {"k": [1, 2, 3]}
+        assert content_hash_value(v) == content_hash(dumps_portable(v))
+
+    def test_memory_order_flip_with_equal_values_is_a_change(self):
+        from repro.ckpt.delta import content_hash_value
+
+        c = np.arange(12.0).reshape(3, 4)
+        f = np.asfortranarray(c)
+        assert np.array_equal(c, f)
+        # np.save records fortran_order, so the encodings differ; the
+        # digest must treat the order flip as a change or a delta would
+        # carry the stale-order blob across a recovery.
+        assert content_hash_value(c) != content_hash_value(f)
+        # 1-D arrays are both C- and F-contiguous: one identity
+        assert content_hash_value(np.arange(5.0)) \
+            == content_hash_value(np.asfortranarray(np.arange(5.0)))

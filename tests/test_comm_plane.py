@@ -1,0 +1,472 @@
+"""The zero-copy data plane and its transport substrate.
+
+Three layers under test:
+
+* :class:`~repro.dsm.procmail.ProcessMailbox` — the selective-receive
+  contract over a queue channel: per-(src, tag) FIFO under interleaved
+  selective receives, ``poll`` drain behaviour, and the single
+  monotonic deadline across the drain loop (a busy mailbox must not
+  extend the timeout);
+* :class:`~repro.dsm.shm.BufferPool` / :class:`~repro.dsm.shm.DataPlane`
+  — slab lease/recycle lifecycle, ring growth and exhaustion fallback,
+  leak checks on clean exit, after a rank failure, and across an
+  elastic park/un-park cycle;
+* end-to-end parity — the multiprocessing backend with the plane on
+  produces bit-identical results and identical checkpoint bytes to the
+  plane-off (queue-pickle) transport and to the threaded backends, and
+  the tree collectives compute the same values as the paper's flat
+  root-funnel ones.
+"""
+
+import os
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
+from repro.apps.sor import SOR
+from repro.ckpt import EveryN
+from repro.ckpt.failure import FailureInjector
+from repro.core import AdaptStep, AdaptationPlan, ExecConfig, Runtime, plug
+from repro.dsm import shm
+from repro.dsm.mailbox import Message
+from repro.dsm.procmail import ProcessMailbox
+from repro.exec import build_default_registry
+from repro.exec.multiproc import MultiprocessBackend
+from repro.vtime import MachineModel
+
+MACHINE = MachineModel(nodes=2, cores_per_node=4)
+N, ITERS = 48, 10
+WOVEN = plug(SOR, SOR_ADAPTIVE)
+REF = SOR(n=N, iterations=ITERS).execute()
+
+
+def assert_no_segments():
+    assert shm.live_segments() == []
+    if os.path.isdir("/dev/shm"):
+        left = [f for f in os.listdir("/dev/shm")
+                if f.startswith(shm.SHM_PREFIX)]
+        assert left == [], f"leaked /dev/shm segments: {left}"
+
+
+def msg(src, tag, payload=None):
+    return Message(src=src, dst=0, tag=tag, payload=payload,
+                   nbytes=8, arrival=0.0)
+
+
+# ---------------------------------------------------------------------------
+# ProcessMailbox pending-buffer semantics
+# ---------------------------------------------------------------------------
+class TestProcessMailbox:
+    def test_fifo_per_src_tag_under_interleaved_selective_receives(self):
+        mb = ProcessMailbox(0, queue.Queue())
+        # interleaved streams from two sources and two tags
+        for i in range(3):
+            mb.put(msg(1, 7, ("a", i)))
+            mb.put(msg(2, 7, ("b", i)))
+            mb.put(msg(1, 9, ("c", i)))
+        # selective receive on (2, 7) first: (1, *) envelopes must be
+        # buffered in arrival order, not lost or reordered
+        assert mb.get(source=2, tag=7).payload == ("b", 0)
+        assert mb.get(source=1, tag=9).payload == ("c", 0)
+        # the pending buffer replays per-(src, tag) FIFO
+        assert [mb.get(source=1, tag=7).payload for _ in range(3)] \
+            == [("a", 0), ("a", 1), ("a", 2)]
+        assert mb.get(source=2, tag=7).payload == ("b", 1)
+        assert [mb.get(source=1, tag=9).payload for _ in range(2)] \
+            == [("c", 1), ("c", 2)]
+
+    def test_poll_drains_channel_into_pending(self):
+        mb = ProcessMailbox(0, queue.Queue())
+        mb.put(msg(1, 1))
+        mb.put(msg(2, 2))
+        mb.put(msg(3, 3))
+        assert not mb.poll(source=9)       # drained everything, no match
+        assert len(mb) == 3                # ... into the pending buffer
+        assert mb.poll(source=2, tag=2)    # matches from pending only
+        assert mb.poll(source=1)
+        # drained envelopes are still retrievable in order
+        assert mb.get(source=3, tag=3).src == 3
+
+    def test_deadline_spans_the_whole_drain_loop(self):
+        """A busy mailbox must not restart the timeout per arrival.
+
+        The seed implementation passed the full ``timeout`` to every
+        channel wait, so a trickle of non-matching envelopes arriving
+        just under the timeout pushed the deadline out indefinitely.
+        """
+        ch = queue.Queue()
+        mb = ProcessMailbox(0, ch)
+        stop = threading.Event()
+
+        def trickle():  # non-matching traffic every 50 ms
+            i = 0
+            while not stop.is_set():
+                ch.put(msg(1, 1, i))
+                i += 1
+                time.sleep(0.05)
+
+        t = threading.Thread(target=trickle, daemon=True)
+        t.start()
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError):
+                mb.get(source=2, tag=2, timeout=0.4)
+            elapsed = time.monotonic() - t0
+            assert elapsed < 2.0, \
+                f"deadline stretched to {elapsed:.2f}s by busy traffic"
+            assert elapsed >= 0.35
+        finally:
+            stop.set()
+            t.join()
+        # the non-matching traffic was preserved, in order
+        assert mb.get(source=1, tag=1).payload == 0
+        assert mb.get(source=1, tag=1).payload == 1
+
+    def test_timeout_zero_and_expiry_message(self):
+        mb = ProcessMailbox(0, queue.Queue())
+        mb.put(msg(1, 5))
+        with pytest.raises(TimeoutError, match="src=2"):
+            mb.get(source=2, tag=5, timeout=0.05)
+        assert len(mb) == 1  # buffered, not dropped
+        # an expired deadline still owes one non-blocking poll: a match
+        # already sitting in the channel must be returned, not timed out
+        mb.put(msg(3, 5))
+        assert mb.get(source=3, tag=5, timeout=0).src == 3
+        with pytest.raises(TimeoutError):
+            mb.get(source=9, tag=9, timeout=0)
+
+
+# ---------------------------------------------------------------------------
+# BufferPool lifecycle
+# ---------------------------------------------------------------------------
+class TestBufferPool:
+    def test_lease_fill_fetch_recycle(self):
+        pool = shm.BufferPool(shm.new_launch_id(), 0)
+        client = shm.PoolClient()
+        try:
+            a = np.random.rand(64, 64)
+            lease = pool.lease(a.nbytes)
+            ref = lease.fill(a)
+            assert pool.in_flight() == 1
+            got = client.fetch(ref)
+            assert np.array_equal(got, a)
+            assert got.flags.writeable
+            assert pool.in_flight() == 0  # fetch recycled the slot
+            # the freed slot is reused, not re-allocated
+            again = pool.lease(a.nbytes)
+            assert again.fill(a).name == ref.name
+            again.cancel()
+            assert pool.in_flight() == 0
+        finally:
+            client.close_all()
+            pool.unlink_all()
+        assert_no_segments()
+
+    def test_ring_grows_slab_for_bigger_payloads(self):
+        pool = shm.BufferPool(shm.new_launch_id(), 0)
+        client = shm.PoolClient()
+        try:
+            small = pool.lease(1024)
+            ref1 = small.fill(np.arange(128.0))
+            client.release(ref1)
+            big = np.random.rand(512, 512)  # far beyond MIN_SLAB
+            ref2 = pool.lease(big.nbytes).fill(big)
+            assert ref2.capacity > ref1.capacity
+            assert np.array_equal(client.fetch(ref2), big)
+        finally:
+            client.close_all()
+            pool.unlink_all()
+        assert_no_segments()
+
+    def test_exhausted_ring_degrades_instead_of_blocking(self):
+        pool = shm.BufferPool(shm.new_launch_id(), 0, slots=2,
+                              lease_timeout=0.1)
+        plane = shm.DataPlane(pool, threshold=16)
+        try:
+            l1, l2 = pool.lease(1024), pool.lease(1024)
+            assert l1 is not None and l2 is not None
+            t0 = time.monotonic()
+            assert pool.lease(1024) is None  # both slots in flight
+            assert time.monotonic() - t0 < 1.0
+            # the plane falls back to the inline path on exhaustion
+            arr = np.arange(100.0)
+            out = plane.outbound(arr)
+            assert isinstance(out, np.ndarray)
+            assert plane.stats()["fallbacks"] >= 1
+            l1.cancel()
+            l2.cancel()
+        finally:
+            plane.close()
+            pool.unlink_all()
+        assert_no_segments()
+
+    def test_parent_sweep_covers_abandoned_slabs(self):
+        """Rank-failure cleanup: slabs leased by a rank that died are
+        reclaimed by the parent's deterministic name sweep."""
+        launch = shm.new_launch_id()
+        pool = shm.BufferPool(launch, 3)
+        pool.lease(1 << 17).fill(np.random.rand(128, 128))  # never freed
+        pool.close()  # the owner process is gone; segments remain
+        removed = shm.unlink_pool(launch, max_ranks=4)
+        assert removed == 1
+        assert_no_segments()
+
+    def test_plane_container_roundtrip_and_owned_semantics(self):
+        pool = shm.BufferPool(shm.new_launch_id(), 0)
+        plane = shm.DataPlane(pool, threshold=1 << 10)
+        try:
+            a = np.random.rand(40, 40)
+            payload = (("shape", a.shape), [a, np.arange(4)], {"x": a * 2})
+            out = plane.outbound(payload)
+            assert isinstance(out[1][0], shm.ShmRef)
+            assert isinstance(out[2]["x"], shm.ShmRef)
+            assert isinstance(out[1][1], np.ndarray)  # under threshold
+            back = plane.inbound(out)
+            assert np.array_equal(back[1][0], a)
+            assert np.array_equal(back[2]["x"], a * 2)
+            assert pool.in_flight() == 0
+            # un-owned small arrays are defensively copied
+            small = np.arange(8.0)
+            sent = plane.outbound(small)
+            assert sent is not small
+            assert plane.outbound(small, owned=True) is small
+        finally:
+            plane.close()
+            pool.unlink_all()
+        assert_no_segments()
+
+    def test_one_payload_larger_than_the_ring_never_stalls(self):
+        """A single payload with more large arrays than the ring has
+        slots can never be satisfied by a recycle (nothing ships until
+        packing finishes), so the overflow must go inline immediately
+        instead of waiting out the lease timeout per array."""
+        pool = shm.BufferPool(shm.new_launch_id(), 0, slots=2,
+                              lease_timeout=5.0)
+        plane = shm.DataPlane(pool, threshold=1 << 10)
+        try:
+            payload = [np.random.rand(64, 64) for _ in range(6)]
+            t0 = time.monotonic()
+            out = plane.outbound(payload)
+            assert time.monotonic() - t0 < 1.0, "pack stalled on leases"
+            assert sum(isinstance(x, shm.ShmRef) for x in out) == 2
+            assert plane.stats()["fallbacks"] == 4
+            back = plane.inbound(out)
+            for a, b in zip(back, payload):
+                assert np.array_equal(a, b)
+            # the next payload gets a fresh budget and the freed slots
+            assert isinstance(plane.outbound(payload[0]), shm.ShmRef)
+        finally:
+            plane.close()
+            pool.unlink_all()
+        assert_no_segments()
+
+    def test_borrow_refs_are_zero_copy_views(self):
+        launch = shm.new_launch_id()
+        pool = shm.BufferPool(launch, 0)
+        plane = shm.DataPlane(pool, threshold=64)
+        seg = shm.ShmSegment.allocate(shm.segment_name(launch, "F"),
+                                      (32, 16), np.float64)
+        try:
+            src = seg.ndarray()
+            src[...] = np.random.rand(32, 16)
+            plane.register_borrow(src, seg.name)
+            ref = plane.outbound(src[4:12])
+            assert isinstance(ref, shm.ShmRef) and ref.kind == "borrow"
+            assert pool.in_flight() == 0  # no slab was touched
+            view = plane.inbound(ref)
+            assert not view.flags.writeable
+            assert np.array_equal(view, src[4:12])
+            # the view aliases the source pages: a write shows through
+            src[4, 0] = -1.0
+            assert view[0, 0] == -1.0
+            # non-contiguous views fall back to the slab/inline path
+            assert not isinstance(plane.outbound(src[:, 2:5]), shm.ShmRef) \
+                or plane.outbound(src[:, 2:5]).kind == "slab"
+        finally:
+            plane.close()
+            seg.unlink()
+            pool.unlink_all()
+        assert_no_segments()
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the multiprocessing backend over the plane
+# ---------------------------------------------------------------------------
+def run_sor(tmp_path, tag, config, registry=None, **kw):
+    rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / tag,
+                 policy=kw.pop("policy", EveryN(3)), registry=registry,
+                 ckpt_strategy=kw.pop("ckpt_strategy", "master"))
+    res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                 entry="execute", config=config, fresh=True, **kw)
+    return rt, res
+
+
+def ckpt_bytes(rt):
+    return {p.name: p.read_bytes() for p in sorted(rt.store.dir.iterdir())
+            if p.is_file()}
+
+
+class TestPlaneParity:
+    def test_plane_on_off_bit_identical_results_and_checkpoints(self,
+                                                                tmp_path):
+        """The transport must be invisible: same value, same vtime, same
+        checkpoint bytes, with the slab path actually exercised
+        (threshold 1 KiB puts every SOR payload on the slabs)."""
+        reg_on = build_default_registry()
+        reg_on.register(MultiprocessBackend(plane_threshold=1 << 10),
+                        replace=True)
+        reg_off = build_default_registry()
+        reg_off.register(MultiprocessBackend(data_plane=False),
+                         replace=True)
+        cfg = ExecConfig.distributed(3).with_backend("multiproc")
+        rt_on, res_on = run_sor(tmp_path, "on", cfg, reg_on)
+        rt_off, res_off = run_sor(tmp_path, "off", cfg, reg_off)
+        assert res_on.value == res_off.value == pytest.approx(REF)
+        # vtime is charged off measured (host-dependent) kernel rates in
+        # worker processes, so exact equality is not meaningful here —
+        # what must hold is that both transports charge the same *model*
+        # (asserted bit-exactly by the checkpoint bytes below, and by
+        # the pinned-rate comparison in bench_comm_plane.py).
+        assert res_on.vtime > 0 and res_off.vtime > 0
+        on, off = ckpt_bytes(rt_on), ckpt_bytes(rt_off)
+        assert on.keys() == off.keys() and len(on) > 0
+        for name in on:
+            assert on[name] == off[name], f"checkpoint {name} diverged"
+        assert_no_segments()
+
+    def test_plane_parity_under_local_shard_strategy(self, tmp_path):
+        from repro.core.context import STRATEGY_LOCAL
+
+        reg_on = build_default_registry()
+        reg_on.register(MultiprocessBackend(plane_threshold=1 << 10),
+                        replace=True)
+        reg_off = build_default_registry()
+        reg_off.register(MultiprocessBackend(data_plane=False),
+                         replace=True)
+        cfg = ExecConfig.distributed(3).with_backend("multiproc")
+        rt_on, res_on = run_sor(tmp_path, "l-on", cfg, reg_on,
+                                ckpt_strategy=STRATEGY_LOCAL)
+        rt_off, res_off = run_sor(tmp_path, "l-off", cfg, reg_off,
+                                  ckpt_strategy=STRATEGY_LOCAL)
+        assert res_on.value == res_off.value == pytest.approx(REF)
+        on, off = ckpt_bytes(rt_on), ckpt_bytes(rt_off)
+        assert on.keys() == off.keys() and len(on) > 0
+        for name in on:
+            assert on[name] == off[name]
+        assert_no_segments()
+
+    def test_pool_survives_elastic_park_unpark_without_leaks(self,
+                                                             tmp_path):
+        """Grow + shrink membership transitions with a forced-low
+        threshold: slabs are leased on both sides of each transition and
+        every segment is gone afterwards."""
+        reg = build_default_registry()
+        reg.register(MultiprocessBackend(plane_threshold=1 << 10),
+                     replace=True)
+        cfg = ExecConfig.distributed(2).with_backend("multiproc")
+        plan = AdaptationPlan([
+            AdaptStep(at=3, config=ExecConfig.distributed(4)
+                      .with_backend("multiproc")),
+            AdaptStep(at=7, config=cfg)])
+        rt, res = run_sor(tmp_path, "elastic", cfg, reg, plan=plan)
+        assert res.value == pytest.approx(REF)
+        assert res.relaunches == 0
+        assert len(res.in_place_reshapes) == 2
+        assert_no_segments()
+
+    def test_plane_survives_rank_failure_and_recovery(self, tmp_path):
+        """An injected rank failure mid-phase: the driver restarts from
+        the checkpoint and no slab or segment outlives the launch."""
+        reg = build_default_registry()
+        reg.register(MultiprocessBackend(plane_threshold=1 << 10),
+                     replace=True)
+        cfg = ExecConfig.distributed(3).with_backend("multiproc")
+        rt, res = run_sor(tmp_path, "fail", cfg, reg,
+                          injector=FailureInjector(fail_at=6, rank=1),
+                          auto_recover=True)
+        assert res.value == pytest.approx(REF)
+        assert_no_segments()
+
+
+# ---------------------------------------------------------------------------
+# collective algorithms
+# ---------------------------------------------------------------------------
+class TestTreeCollectives:
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 5, 8])
+    def test_tree_matches_flat_values(self, nranks):
+        from repro.dsm.comm import current_rank
+        from repro.dsm.simcluster import SimCluster
+
+        def entry():
+            ctx = current_rank()
+            c = ctx.comm
+            arr = np.arange(6.0) * (ctx.rank + 1)
+            root = 1 if c.nranks > 1 else 0  # non-zero root exercised too
+            b = c.bcast(np.arange(4.0) if ctx.rank == root else None,
+                        root=root)
+            g = c.gather(arr, root=0)
+            r = c.reduce(float(ctx.rank + 1), root=0)
+            ag = c.allgather(ctx.rank * 2)
+            return (b.tolist(),
+                    None if g is None else [x.tolist() for x in g],
+                    r, ag)
+
+        results = {}
+        for algo in ("flat", "tree"):
+            cl = SimCluster(nranks, MachineModel(coll_algo=algo))
+            try:
+                results[algo] = cl.run(entry)
+            finally:
+                cl.shutdown()
+            assert cl.max_time > 0
+        assert results["flat"] == results["tree"]
+
+    def test_flat_remains_the_default_algorithm(self):
+        from repro.dsm.comm import Communicator
+        from repro.vtime.clock import VClock
+
+        m = MachineModel()
+        assert m.coll_algo == "flat"
+        comm = Communicator(2, m, [VClock(), VClock()])
+        assert comm.coll_algo == "flat"
+        comm.close()
+
+    def test_tree_bcast_scales_root_cost_sublinearly(self):
+        """The point of the tree: the root's serialized egress stops
+        growing linearly in P — a flat bcast pays P-1 back-to-back
+        transfers on the root's link, the binomial tree ``log2 P``.
+        (Gather is excluded on purpose: all contributions must
+        physically reach the root, so no algorithm can shrink its
+        ingress *bytes* — trees only shave its latency terms.)"""
+        from repro.dsm.comm import current_rank
+        from repro.dsm.simcluster import SimCluster
+
+        def entry():
+            ctx = current_rank()
+            data = np.full(64 * 1024 // 8, float(ctx.rank))
+            ctx.comm.barrier()  # align clocks: spawn stagger out of scope
+            t0 = ctx.clock.now
+            ctx.comm.bcast(data if ctx.rank == 0 else None, root=0)
+            ctx.comm.barrier()
+            return ctx.clock.now - t0
+
+        cost = {}
+        for algo in ("flat", "tree"):
+            per_p = {}
+            for p in (4, 16):
+                cl = SimCluster(p, MachineModel(nodes=1, cores_per_node=32,
+                                                coll_algo=algo))
+                try:
+                    per_p[p] = max(cl.run(entry))
+                finally:
+                    cl.shutdown()
+            cost[algo] = per_p
+        flat_growth = cost["flat"][16] / cost["flat"][4]
+        tree_growth = cost["tree"][16] / cost["tree"][4]
+        assert tree_growth < flat_growth, (cost, "tree lost its log-P edge")
+        # and at fixed P the tree is outright cheaper than the funnel
+        assert cost["tree"][16] < cost["flat"][16], cost
