@@ -122,6 +122,29 @@ class CheckpointFunnel:
         self._client.close_all()
 
     # ------------------------------------------------------------------
+    def _handle(self, op: str, shard_rank, payload) -> tuple:
+        """Perform one funnel request against the master store.
+
+        Transport-independent: the queue drain below and the framed-TCP
+        drain in :class:`SocketCheckpointFunnel` both feed it.  Never
+        raises — errors travel back to the worker in the reply.
+        """
+        try:
+            if op == _OP_WRITE:
+                if isinstance(payload, PackedSnapshot):
+                    payload = payload.unpack(self._client)
+                target = (self.store if shard_rank is None
+                          else self.store.shard(shard_rank))
+                target.write(payload)
+                return ("ok", target.last_write_nbytes,
+                        target.last_write_kind)
+            if op == _OP_FLUSH:
+                self.store.flush()
+                return ("ok", 0, KIND_FULL)
+            return ("error", f"unknown funnel op {op!r}", None)
+        except Exception:  # noqa: BLE001 - worker must not hang on us
+            return ("error", traceback.format_exc(), None)
+
     def _serve(self) -> None:
         while True:
             try:
@@ -130,23 +153,7 @@ class CheckpointFunnel:
                 return
             if op == _OP_STOP:
                 return
-            try:
-                if op == _OP_WRITE:
-                    if isinstance(payload, PackedSnapshot):
-                        payload = payload.unpack(self._client)
-                    target = (self.store if shard_rank is None
-                              else self.store.shard(shard_rank))
-                    target.write(payload)
-                    reply = ("ok", target.last_write_nbytes,
-                             target.last_write_kind)
-                elif op == _OP_FLUSH:
-                    self.store.flush()
-                    reply = ("ok", 0, KIND_FULL)
-                else:
-                    reply = ("error", f"unknown funnel op {op!r}", None)
-            except Exception:  # noqa: BLE001 - worker must not hang on us
-                reply = ("error", traceback.format_exc(), None)
-            self.acks[rank].put(reply)
+            self.acks[rank].put(self._handle(op, shard_rank, payload))
 
 
 class FunnelStore:
@@ -221,3 +228,170 @@ class FunnelStore:
     def counts(self) -> list[int]:
         raise NotImplementedError(
             "checkpoint listings happen in the parent process (PhaseDriver)")
+
+
+# ---------------------------------------------------------------------------
+# the framed-TCP funnel variant (sockets backend)
+# ---------------------------------------------------------------------------
+class SocketCheckpointFunnel(CheckpointFunnel):
+    """Checkpoint funnel over length-prefixed TCP frames.
+
+    The sockets backend's workers model ranks on *other physical
+    nodes*, so their checkpoint traffic rides the same wire fabric as
+    their collectives: each worker keeps one lazy connection to the
+    parent's listener (bound pre-fork, so the address is picklable into
+    the task) and exchanges framed request/reply pickles.  Requests
+    from different ranks arrive on different connections; a lock
+    serialises them into the (single-threaded) master store exactly as
+    the queue drain does, so the bytes on disk are identical.
+    """
+
+    def __init__(self, store: "CheckpointStore", mpctx, nranks: int,
+                 bind_host: str = "127.0.0.1") -> None:
+        import socket
+
+        self.store = store
+        self._client = PoolClient()  # kept for interface parity (unused:
+        # socket payloads are always inline, never slab descriptors)
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((bind_host, 0))
+        self._listener.listen()
+        # bounded accept wait: stop() cannot count on a cross-thread
+        # listener close interrupting a blocking accept().
+        self._listener.settimeout(0.25)
+        #: (host, port) the workers' stores dial.
+        self.address: tuple[str, int] = self._listener.getsockname()
+        self._thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._conns: list = []
+
+    def client(self, rank: int) -> "SocketFunnelStore":
+        return SocketFunnelStore(
+            rank=rank, address=self.address, is_async=self.store.is_async,
+            depth=self.store.writer.depth if self.store.is_async else 0)
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        daemon=True, name="ckpt-funnel-sk")
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn in self._conns:  # unblock serve threads parked in recv
+            try:
+                conn.shutdown(2)  # SHUT_RDWR
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        for t in self._conn_threads:
+            t.join(timeout=5.0)
+        self._client.close_all()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        import socket as _socket
+
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except _socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed: shutdown
+            self._conns.append(conn)
+            t = threading.Thread(target=self._serve_conn, args=(conn,),
+                                 daemon=True, name="ckpt-funnel-conn")
+            t.start()
+            self._conn_threads.append(t)
+
+    def _serve_conn(self, conn) -> None:
+        import pickle
+
+        from repro.dsm.socketmail import _LEN, _recv_exact
+
+        with conn:
+            while not self._stopping.is_set():
+                head = _recv_exact(conn, _LEN.size)
+                if head is None:
+                    return  # worker exited; its connection died with it
+                blob = _recv_exact(conn, _LEN.unpack(head)[0])
+                if blob is None:
+                    return
+                op, _rank, shard_rank, payload = pickle.loads(blob)
+                with self._lock:  # the master store is single-threaded
+                    reply = self._handle(op, shard_rank, payload)
+                out = pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+                try:
+                    conn.sendall(_LEN.pack(len(out)) + out)
+                except OSError:
+                    return
+
+
+class SocketFunnelStore(FunnelStore):
+    """Worker side of the framed-TCP funnel: ``_rpc`` over one socket.
+
+    Checkpoint payloads always travel inline — a shared-memory slab
+    descriptor is meaningless on another physical node, so the
+    ``plane`` attach the worker performs post-fork is deliberately
+    swallowed (the property below).  Checkpoint bytes stay identical:
+    plane on/off parity is a proven invariant of the queue funnel.
+    """
+
+    def __init__(self, rank: int, address: tuple[str, int], is_async: bool,
+                 depth: int, shard_rank: int | None = None) -> None:
+        super().__init__(rank=rank, requests=None, ack=None,
+                         is_async=is_async, depth=depth,
+                         shard_rank=shard_rank)
+        self._address = address
+        self._conn = None  # lazy: dialled post-fork on first RPC
+
+    @property
+    def plane(self) -> "DataPlane | None":
+        return None
+
+    @plane.setter
+    def plane(self, value) -> None:  # noqa: ARG002 - see class docstring
+        pass
+
+    def shard(self, rank: int) -> "SocketFunnelStore":
+        if self._shard_rank is not None:
+            raise ValueError("shard stores cannot be sharded again")
+        return SocketFunnelStore(rank=self.rank, address=self._address,
+                                 is_async=False, depth=0, shard_rank=rank)
+
+    def _rpc(self, op: str, payload) -> tuple[int, str]:
+        import pickle
+        import socket
+
+        from repro.dsm.socketmail import _LEN, _recv_exact
+
+        if self._conn is None:
+            self._conn = socket.create_connection(self._address,
+                                                  timeout=30.0)
+            self._conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        blob = pickle.dumps((op, self.rank, self._shard_rank, payload),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        self._conn.sendall(_LEN.pack(len(blob)) + blob)
+        head = _recv_exact(self._conn, _LEN.size)
+        body = None if head is None \
+            else _recv_exact(self._conn, _LEN.unpack(head)[0])
+        if body is None:
+            raise RuntimeError("checkpoint funnel connection closed")
+        status, a, b = pickle.loads(body)
+        if status != "ok":
+            raise RuntimeError(f"checkpoint funnel failed in parent:\n{a}")
+        return a, b

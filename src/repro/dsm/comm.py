@@ -23,6 +23,28 @@ Collective algorithms are selectable (``MachineModel.coll_algo``):
   virtual time faithfully by construction.  Tree reduce assumes an
   associative ``op`` (it folds subtree-wise, in a deterministic order
   that differs from the flat left fold).
+* ``"auto"`` — per-collective choice: each call picks flat or tree from
+  the machine's modelled cost for this payload size and rank count
+  (:meth:`MachineModel.collective_algo`).  The decision inputs are
+  SPMD-symmetric (rank count always; payload size only where every rank
+  contributes the same logical bytes — the documented contract of
+  gather/reduce), so all ranks pick the same algorithm without
+  negotiating.
+
+The communicator also exposes a **one-sided** window API modelled on
+OpenSHMEM: ``win_expose`` publishes an array as a named window,
+``put`` writes a region of a remote window without the target calling
+``recv``, ``fence(schedule)`` makes a deterministic set of incoming
+puts visible, ``get`` reads a remote region, ``quiet`` completes the
+caller's outstanding puts.  Cost accounting mirrors send/recv exactly
+(a put charges the origin like a send; the fence charges the target's
+ingress like a recv), so porting a protocol from send/recv to
+put+fence moves no virtual time — only the synchronisation shape.
+``fence`` takes an explicit source schedule because one-sided arrivals
+are unordered across origins: draining them in arrival order would
+make the target's clock coupling nondeterministic, while a schedule
+derived from the (deterministic) communication pattern keeps virtual
+time bit-reproducible.
 """
 
 from __future__ import annotations
@@ -42,6 +64,19 @@ from repro.vtime.machine import MachineModel
 #: reserved tag space for collective plumbing (user tags must be < this).
 TAG_COLL = 1 << 30
 MAX_USER_TAG = TAG_COLL - 1
+
+#: one-sided plumbing tags: put envelopes, remote-get request/reply.
+TAG_PUT = TAG_COLL + 6
+TAG_GETREQ = TAG_COLL + 7
+TAG_GETREP = TAG_COLL + 8
+
+#: payload marker for puts a transport already applied to the target
+#: window (direct symmetric-heap writes): the fence still drains the
+#: envelope for clock coupling, but has nothing left to copy.
+PUT_APPLIED = "<put-applied>"
+
+#: modelled wire size of a one-sided get request (a window descriptor).
+_GETREQ_NBYTES = 64
 
 _tl = threading.local()
 
@@ -79,6 +114,23 @@ def _copy_payload(obj: Any) -> Any:
     return obj  # scalars / immutables / user objects sent by reference
 
 
+def axis_read(arr: np.ndarray, idx, axis: int) -> np.ndarray:
+    """Region of ``arr`` along ``axis``: ``(lo, hi)`` bounds -> a view,
+    an index vector -> a fresh ``np.take`` buffer."""
+    if isinstance(idx, tuple):
+        sl: list = [slice(None)] * arr.ndim
+        sl[axis] = slice(idx[0], idx[1])
+        return arr[tuple(sl)]
+    return np.take(arr, idx, axis=axis)
+
+
+def axis_write(arr: np.ndarray, idx, axis: int, vals) -> None:
+    """Assign ``vals`` into the region of ``arr`` described by ``idx``."""
+    sl: list = [slice(None)] * arr.ndim
+    sl[axis] = slice(idx[0], idx[1]) if isinstance(idx, tuple) else idx
+    arr[tuple(sl)] = vals
+
+
 class Communicator:
     """Collective + point-to-point communication among ``nranks`` ranks."""
 
@@ -95,6 +147,16 @@ class Communicator:
         self.mailboxes = [Mailbox(r) for r in range(nranks)]
         self._barrier = AdaptiveBarrier(nranks) if nranks > 1 else None
         self._epoch = 0.0
+        #: membership epoch stamped on every outgoing envelope; the
+        #: in-process transport never bumps it (rank threads die with
+        #: their membership), the process transports do.
+        self.mail_epoch = 0
+        #: one-sided windows, keyed ``(owner rank, name)``.  One shared
+        #: dict in-process (all ranks of a simulated cluster see each
+        #: other's windows directly); per-process transports hold only
+        #: their own rank's entries.
+        self._windows: dict[tuple[int, str], np.ndarray] = {}
+        self._win_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _ctx(self) -> RankContext:
@@ -139,19 +201,25 @@ class Communicator:
     # ------------------------------------------------------------------
     # transport hooks (overridden by descriptor-based data planes)
     # ------------------------------------------------------------------
-    def _egress(self, obj: Any, owned: bool) -> Any:
+    def _egress(self, obj: Any, owned: bool, dest: int) -> Any:
         """What actually enters the destination mailbox for ``obj``.
 
         The base transport delivers by reference within one address
         space, so value semantics require a defensive copy — unless the
         sender *owns* the payload (``_send_owned``: a freshly built
-        staging buffer nothing else aliases).
+        staging buffer nothing else aliases).  ``dest`` lets routing
+        transports pick a packing per destination (slab descriptors to
+        co-located ranks, plain frames to remote ones).
         """
         return obj if owned else _copy_payload(obj)
 
     def _ingress(self, msg: Message) -> Any:
         """Resolve a delivered envelope into the received object."""
-        return msg.payload
+        return self._ingress_value(msg.payload)
+
+    def _ingress_value(self, obj: Any) -> Any:
+        """Resolve one delivered payload value (descriptor -> array)."""
+        return obj
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -187,8 +255,8 @@ class Communicator:
         ctx.clock.charge_comm(cost)
         self.mailboxes[dest].put(Message(
             src=ctx.rank, dst=dest, tag=tag,
-            payload=self._egress(obj, owned), nbytes=nbytes,
-            arrival=ctx.clock.now))
+            payload=self._egress(obj, owned, dest), nbytes=nbytes,
+            arrival=ctx.clock.now, epoch=self.mail_epoch))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Receive; the receiver's link serialises ingress.
@@ -216,8 +284,164 @@ class Communicator:
         return self.recv(source=source, tag=tag)
 
     # ------------------------------------------------------------------
+    # one-sided windows (OpenSHMEM-style put / get / fence / quiet)
+    # ------------------------------------------------------------------
+    def win_expose(self, name: str, arr: np.ndarray) -> np.ndarray:
+        """Publish ``arr`` as this rank's window ``name``.
+
+        Incoming puts land in ``arr`` when this rank fences; peers in
+        the same address space (and remote progress threads, on socket
+        transports) may ``get`` regions of it.  Re-exposing a name
+        rebinds it.
+        """
+        ctx = self._ctx()
+        with self._win_lock:
+            self._windows[(ctx.rank, name)] = arr
+        return arr
+
+    def win_drop(self, name: str) -> None:
+        """Withdraw this rank's window ``name`` (idempotent)."""
+        ctx = self._ctx()
+        with self._win_lock:
+            self._windows.pop((ctx.rank, name), None)
+
+    def _window(self, owner: int, name: str) -> np.ndarray | None:
+        with self._win_lock:
+            return self._windows.get((owner, name))
+
+    def win_alloc(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        """Collectively allocate and expose a symmetric window.
+
+        Every rank calls with identical arguments (SPMD) and gets back
+        its local instance, zero-initialised.  The base transport backs
+        it with a private array; heap-carrying transports override this
+        to place it on the shared symmetric heap, which is what enables
+        direct remote writes and co-located one-sided ``get``.  Like
+        OpenSHMEM's ``shmem_malloc``, the allocation ends in an implicit
+        barrier: when it returns, every rank's window exists and is
+        addressable.
+        """
+        win = self.win_expose(name, np.zeros(shape, dtype=dtype))
+        self.barrier()
+        return win
+
+    def put(self, name: str, values: np.ndarray, dest: int, idx,
+            axis: int = 0, owned: bool = False) -> None:
+        """Write ``values`` into region ``idx`` of ``dest``'s window.
+
+        One-sided: the target does not post a receive — it sees the
+        region once it fences this origin.  ``idx`` is ``(lo, hi)``
+        bounds or an index vector along ``axis``.  Cost accounting is
+        identical to :meth:`send` (origin pays latency + transfer), so
+        protocols ported from send/recv to put+fence keep their virtual
+        time.  ``owned`` has `_send_owned` semantics: the caller proves
+        nothing else aliases ``values``.
+        """
+        ctx = self._ctx()
+        if not (0 <= dest < self.nranks):
+            raise ValueError(f"bad put destination rank {dest}")
+        if dest == ctx.rank:
+            raise ValueError("self-put: write the local window directly")
+        nbytes = nbytes_of(values)
+        ctx.clock.charge_comm(self.machine.p2p_cost(nbytes, ctx.rank, dest))
+        self._deliver_put(ctx, name, values, dest, idx, axis, owned, nbytes)
+
+    def _deliver_put(self, ctx: RankContext, name: str, values, dest: int,
+                     idx, axis: int, owned: bool, nbytes: int) -> None:
+        """Transport half of :meth:`put` (overridden by heap routes)."""
+        self.mailboxes[dest].put(Message(
+            src=ctx.rank, dst=dest, tag=TAG_PUT,
+            payload=(name, axis, idx, self._egress(values, owned, dest)),
+            nbytes=nbytes, arrival=ctx.clock.now, epoch=self.mail_epoch))
+
+    def fence(self, schedule: Sequence[int]) -> None:
+        """Complete one incoming put per source listed in ``schedule``.
+
+        The schedule is the deterministic list of origins whose puts
+        this rank must observe (repeat a rank once per put), derived
+        from the protocol's communication pattern — neighbour lists for
+        a halo exchange, the move plan for a reshape.  Draining in
+        schedule order rather than arrival order is what keeps the
+        clock coupling (and therefore virtual time) bit-reproducible.
+        """
+        ctx = self._ctx()
+        for src in schedule:
+            msg = self.mailboxes[ctx.rank].get(source=src, tag=TAG_PUT)
+            ctx.clock.wait_comm(msg.arrival)
+            same = self.machine.same_node(msg.src, ctx.rank)
+            ctx.clock.charge_comm(
+                self.machine.network.p2p_cost(msg.nbytes, same)
+                - (self.machine.network.intra_latency if same
+                   else self.machine.network.inter_latency))
+            name, axis, idx, packed = msg.payload
+            if isinstance(packed, str) and packed == PUT_APPLIED:
+                continue  # transport wrote the window directly
+            win = self._window(ctx.rank, name)
+            if win is None:
+                raise RuntimeError(
+                    f"rank {ctx.rank}: put into unexposed window {name!r}")
+            axis_write(win, idx, axis, self._ingress_value(packed))
+
+    def quiet(self) -> None:
+        """Complete this rank's outstanding puts (OpenSHMEM ``quiet``).
+
+        All transports here deliver puts synchronously at issue — the
+        envelope is deposited (or the heap written) before :meth:`put`
+        returns, and per-(origin, target) ordering is FIFO — so there
+        is nothing left to drain.  Kept as an explicit point in the API
+        so protocols state their ordering intent and a future
+        asynchronous transport has a seam to hook.
+        """
+        self._ctx()
+
+    def get(self, name: str, src: int, idx, axis: int = 0) -> np.ndarray:
+        """Read region ``idx`` of ``src``'s window ``name`` (one-sided).
+
+        The origin is charged a modelled round trip — request envelope
+        out, region transfer back — and the target's clock is untouched
+        (its CPU never participates; in the remote case a progress
+        thread serves the window).  Callers bound racing writers with
+        fences, exactly as OpenSHMEM requires.
+        """
+        ctx = self._ctx()
+        if not (0 <= src < self.nranks):
+            raise ValueError(f"bad get source rank {src}")
+        if src == ctx.rank:
+            win = self._window(ctx.rank, name)
+            if win is None:
+                raise RuntimeError(f"get from unexposed window {name!r}")
+            return np.ascontiguousarray(axis_read(win, idx, axis))
+        vals = self._fetch_window(ctx, name, src, idx, axis)
+        ctx.clock.charge_comm(
+            self.machine.p2p_cost(_GETREQ_NBYTES, ctx.rank, src)
+            + self.machine.p2p_cost(nbytes_of(vals), src, ctx.rank))
+        return vals
+
+    def _fetch_window(self, ctx: RankContext, name: str, src: int, idx,
+                      axis: int) -> np.ndarray:
+        """Transport half of :meth:`get` (overridden by heap/socket
+        routes).  The base transport shares one address space, so the
+        peer's window is readable directly."""
+        win = self._window(src, name)
+        if win is None:
+            raise RuntimeError(
+                f"rank {src} has not exposed window {name!r}")
+        return np.array(axis_read(win, idx, axis))
+
+    # ------------------------------------------------------------------
     # collectives (SPMD: every rank must call in the same order)
     # ------------------------------------------------------------------
+    def _algo(self, nbytes: int = 0) -> str:
+        """The algorithm this collective call runs: the machine knob
+        verbatim, or — under ``"auto"`` — the advisor's per-call choice
+        from rank count and payload size.  Every input is identical on
+        every rank (``nbytes`` by the SPMD symmetric-contribution
+        contract of the callers that pass it), so the choice needs no
+        agreement protocol."""
+        if self.coll_algo != "auto":
+            return self.coll_algo
+        return self.machine.collective_algo(self.nranks, nbytes)
+
     def barrier(self) -> None:
         ctx = self._ctx()
         if self.nranks == 1:
@@ -302,7 +526,9 @@ class Communicator:
         ctx = self._ctx()
         if self.nranks == 1:
             return obj
-        if self.coll_algo == "tree":
+        # non-roots hold no payload, so the auto decision for bcast is
+        # made on rank count alone (the latency term dominates it).
+        if self._algo() == "tree":
             return self._tree_bcast(obj, root)
         if ctx.rank == root:
             for r in range(self.nranks):
@@ -326,7 +552,7 @@ class Communicator:
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         ctx = self._ctx()
-        if self.coll_algo == "tree" and self.nranks > 1:
+        if self.nranks > 1 and self._algo(nbytes_of(obj)) == "tree":
             return self._tree_gather(obj, root)
         if ctx.rank == root:
             out: list[Any] = [None] * self.nranks
@@ -361,7 +587,7 @@ class Communicator:
         """
         ctx = self._ctx()
         fold = op if op is not None else _default_add
-        if self.coll_algo == "tree" and self.nranks > 1:
+        if self.nranks > 1 and self._algo(nbytes_of(obj)) == "tree":
             return self._tree_reduce(obj, fold, root)
         vals = self.gather(obj, root=root)
         if ctx.rank != root:

@@ -32,6 +32,12 @@ class Message:
     payload: Any
     nbytes: int
     arrival: float  # virtual time at which the payload is available
+    #: membership epoch the sender belonged to.  In-process mailboxes
+    #: ignore it (rank threads die with their membership); the process
+    #: transports match on it so a retired rank's queued frames cannot
+    #: satisfy a later membership's selective receive (the mp.Queue
+    #: channels outlive membership switches by design).
+    epoch: int = 0
 
 
 class Mailbox:

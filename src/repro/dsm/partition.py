@@ -164,11 +164,23 @@ def gather_blocks(comm: "Communicator", local: np.ndarray, layout: Layout,
 # in-place movements (full-size array on every rank)
 # ---------------------------------------------------------------------------
 def scatter_inplace(comm: "Communicator", arr: np.ndarray, layout: Layout,
-                    root: int = 0) -> tuple[int, int] | np.ndarray:
+                    root: int = 0, release_fence: bool = False
+                    ) -> tuple[int, int] | np.ndarray:
     """Update each rank's owned region (incl. halo) from root's array.
 
     Returns this rank's owned index description: ``(lo, hi)`` bounds for
     block layouts, else the owned index vector.
+
+    ``release_fence`` (SPMD: every rank passes the same value) appends a
+    barrier that happens-after every receive.  That is the borrow
+    release point: a root whose ``arr`` is borrow-registered on the data
+    plane (``DataPlane.register_borrow``) ships block partitions as
+    zero-copy *views of its own array*, and the barrier is what makes
+    that safe — no receiver can still be reading the region when root
+    writes it next.  Only the root knows whether the array is
+    registered, so the fence cannot be auto-detected (asymmetric
+    barriers deadlock); the default keeps the historical cost profile
+    for callers that never borrow.
     """
     from repro.dsm.comm import current_rank
 
@@ -183,6 +195,8 @@ def scatter_inplace(comm: "Communicator", arr: np.ndarray, layout: Layout,
                 lo, hi = layout.halo_bounds(n, r, comm.nranks)
                 sl: list = [slice(None)] * arr.ndim
                 sl[layout.axis] = slice(lo, hi)
+                # a contiguous view of root's array: rides the borrow
+                # tier when the caller registered ``arr`` (and fences)
                 comm.send(arr[tuple(sl)], r, _TAG_SCATTER)
         else:
             lo, hi = layout.halo_bounds(n, ctx.rank, comm.nranks)
@@ -190,6 +204,8 @@ def scatter_inplace(comm: "Communicator", arr: np.ndarray, layout: Layout,
             sl = [slice(None)] * arr.ndim
             sl[layout.axis] = slice(lo, hi)
             arr[tuple(sl)] = part
+        if release_fence:
+            comm.barrier()
         return layout.bounds(n, ctx.rank, comm.nranks)
     # cyclic / hybrid
     if ctx.rank == root:
@@ -203,6 +219,8 @@ def scatter_inplace(comm: "Communicator", arr: np.ndarray, layout: Layout,
         idx = layout.owned(n, ctx.rank, comm.nranks)
         part = comm.recv(source=root, tag=_TAG_SCATTER)
         _put(arr, idx, layout.axis, part)
+    if release_fence:
+        comm.barrier()
     return layout.owned(n, ctx.rank, comm.nranks)
 
 
@@ -226,11 +244,27 @@ def gather_inplace(comm: "Communicator", arr: np.ndarray, layout: Layout,
         comm._send_owned(_take(arr, idx, layout.axis), root, _TAG_GATHER)
 
 
+#: window name the halo exchange exposes its array under.
+_HALO_WINDOW = "halo"
+
+
 def exchange_halo(comm: "Communicator", arr: np.ndarray,
                   layout: BlockLayout) -> None:
     """Swap ``halo`` boundary planes with block neighbours (stencil step).
 
-    Even/odd phased so the blocking p2p pairs cannot deadlock.
+    One-sided: each rank exposes its full-size array as a window and
+    *puts* its boundary planes straight into its neighbours' halo
+    regions — in the in-place storage convention the global indices of
+    a sent plane are exactly where it lands, so source region and
+    target region coincide and the payload needs no re-addressing.  The
+    fence then completes both neighbours' incoming puts in sorted
+    neighbour order (a deterministic schedule, which is what keeps the
+    clock coupling bit-reproducible).  No even/odd phasing is needed:
+    puts never block, only the fence waits.
+
+    Cost accounting is identical to the former send/recv version — a
+    put charges like a send, a fenced arrival like a receive — so the
+    port moves synchronisation shape, not virtual time.
     """
     from repro.dsm.comm import current_rank
 
@@ -252,14 +286,14 @@ def exchange_halo(comm: "Communicator", arr: np.ndarray,
         sl[ax] = slice(a, b)
         return tuple(sl)
 
-    for phase in range(2):
-        if r % 2 == phase:
-            if r + 1 < p:  # exchange with the rank above
-                comm.send(arr[plane(hi - h, hi)], r + 1, _TAG_HALO_UP)
-                arr[plane(hi, min(n, hi + h))] = comm.recv(
-                    source=r + 1, tag=_TAG_HALO_DOWN)
-        else:
-            if r - 1 >= 0:  # exchange with the rank below
-                arr[plane(max(0, lo - h), lo)] = comm.recv(
-                    source=r - 1, tag=_TAG_HALO_UP)
-                comm.send(arr[plane(lo, lo + h)], r - 1, _TAG_HALO_DOWN)
+    comm.win_expose(_HALO_WINDOW, arr)
+    try:
+        if r + 1 < p:  # my top planes are the upper neighbour's low halo
+            comm.put(_HALO_WINDOW, arr[plane(hi - h, hi)], r + 1,
+                     (hi - h, hi), axis=ax)
+        if r - 1 >= 0:  # my bottom planes are the lower one's high halo
+            comm.put(_HALO_WINDOW, arr[plane(lo, lo + h)], r - 1,
+                     (lo, lo + h), axis=ax)
+        comm.fence([src for src in (r - 1, r + 1) if 0 <= src < p])
+    finally:
+        comm.win_drop(_HALO_WINDOW)

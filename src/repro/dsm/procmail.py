@@ -4,14 +4,25 @@ The in-process :class:`~repro.dsm.mailbox.Mailbox` gives every simulated
 rank selective receive over ``(source, tag)``; this module provides the
 same contract across *process* boundaries so the whole
 :class:`~repro.dsm.comm.Communicator` algorithm layer (point-to-point,
-scatter/gather, halo exchange, reductions) runs unchanged over real
-processes — the collectives are bridged, not reimplemented.
+scatter/gather, halo exchange, reductions, one-sided put/get/fence)
+runs unchanged over real processes — the collectives are bridged, not
+reimplemented.
 
 Transport: one ``multiprocessing.Queue`` per rank.  Any process may put
 into any rank's queue; only the owning rank gets from its own.  Because
 queue order is arrival order, not ``(source, tag)`` order, the owner
 keeps a local pending buffer for envelopes that did not match an
 outstanding selective receive.
+
+Matching is additionally **epoch-scoped**: every envelope carries the
+sender's membership epoch, and the receiver only matches envelopes of
+its *own* epoch.  The mp.Queue channels deliberately outlive elastic
+membership switches (the pre-sized fabric), so without the epoch a
+retired rank's still-queued frames could satisfy a later membership
+segment's selective receive on the same ``(source, tag)`` — a
+use-after-retire that shows up as silently wrong data.  Stale-epoch
+arrivals are dropped at the drain; future-epoch arrivals (a peer that
+switched first) are buffered until this rank catches up.
 
 :class:`ProcCommunicator` subclasses :class:`Communicator`, swapping the
 transport and replacing the shared-clock barrier with a message-based
@@ -22,13 +33,25 @@ address spaces there is no clock list to ``sync_max`` over.
 from __future__ import annotations
 
 import queue as _queue
+import threading
 import time
 from typing import TYPE_CHECKING, Any
 
-from repro.dsm.comm import TAG_COLL, Communicator
+import numpy as np
+
+from repro.dsm.comm import (
+    PUT_APPLIED,
+    TAG_COLL,
+    TAG_PUT,
+    Communicator,
+    axis_read,
+    axis_write,
+)
 from repro.dsm.mailbox import ANY_SOURCE, ANY_TAG, MailboxClosed, Message
+from repro.dsm.transport import QueueTransport, Transport
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsm.comm import RankContext
     from repro.dsm.shm import DataPlane
     from repro.vtime.machine import MachineModel
 
@@ -42,13 +65,20 @@ class ProcessMailbox:
 
     ``put`` may be called from any process; ``get``/``poll`` only from
     the owning rank's process (the pending buffer is process-local).
+    ``epoch`` scopes the match key: only envelopes stamped with the
+    mailbox's current epoch are eligible, stale ones are dead letters
+    (dropped on drain), future ones wait in the pending buffer for the
+    membership switch that makes them current.
     """
 
-    def __init__(self, rank: int, channel) -> None:
+    def __init__(self, rank: int, channel, epoch: int = 0) -> None:
         self.rank = rank
+        self.epoch = epoch
         self._channel = channel
         self._pending: list[Message] = []
         self._closed = False
+        #: stale-epoch envelopes discarded (observability for tests).
+        self.stale_dropped = 0
 
     # ------------------------------------------------------------------
     def put(self, msg: Message) -> None:
@@ -56,10 +86,27 @@ class ProcessMailbox:
             raise MailboxClosed(f"mailbox {self.rank} is closed")
         self._channel.put(msg)
 
-    @staticmethod
-    def _matches(m: Message, source: int, tag: int) -> bool:
-        return ((source == ANY_SOURCE or m.src == source)
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt a new membership epoch; purge newly-stale pendings."""
+        self.epoch = epoch
+        before = len(self._pending)
+        self._pending = [m for m in self._pending if m.epoch >= epoch]
+        self.stale_dropped += before - len(self._pending)
+
+    def _matches(self, m: Message, source: int, tag: int) -> bool:
+        return (m.epoch == self.epoch
+                and (source == ANY_SOURCE or m.src == source)
                 and (tag == ANY_TAG or m.tag == tag))
+
+    def _admit(self, m: Message) -> bool:
+        """Buffer a drained envelope; False when it was a stale-epoch
+        dead letter (a retired membership's frame — dropped so it can
+        never satisfy a later segment's selective receive)."""
+        if m.epoch < self.epoch:
+            self.stale_dropped += 1
+            return False
+        self._pending.append(m)
+        return True
 
     def get(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
             timeout: float | None = 60.0) -> Message:
@@ -98,7 +145,7 @@ class ProcessMailbox:
                             break
                         if self._matches(m, source, tag):
                             return m
-                        self._pending.append(m)
+                        self._admit(m)
                     raise TimeoutError(
                         f"rank {self.rank}: no message from src={source} "
                         f"tag={tag} after {timeout}s (pending: "
@@ -109,7 +156,7 @@ class ProcessMailbox:
                 continue  # deadline check above decides expiry
             if self._matches(m, source, tag):
                 return m
-            self._pending.append(m)
+            self._admit(m)
 
     def poll(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """Non-blocking probe for a matching envelope."""
@@ -120,8 +167,7 @@ class ProcessMailbox:
                 m = self._channel.get_nowait()
             except _queue.Empty:
                 return False
-            self._pending.append(m)
-            if self._matches(m, source, tag):
+            if self._admit(m) and self._matches(m, source, tag):
                 return True
 
     def close(self) -> None:
@@ -146,65 +192,144 @@ class ProcCommunicator(Communicator):
     """The MPI-like collective layer over per-rank process mailboxes.
 
     Inherits every algorithm (send/recv costs, flat and tree
-    collectives, the in-place partition movements consume it unchanged);
-    overrides construction (no shared clock list), the barrier
-    (message-based epoch agreement instead of ``VClock.sync_max`` across
-    threads), and — when a :class:`~repro.dsm.shm.DataPlane` is wired —
-    the transport hooks: large array payloads cross as shared-memory
-    slab descriptors instead of pickles through the queue pipes (and,
-    for movement code that opted a source segment in via
-    ``DataPlane.register_borrow``, as borrowed regions with zero
-    intermediate copies).  Virtual time is charged on the logical
-    payload before packing, so the cost model cannot tell the
-    transports apart (cross-backend vtime parity is preserved by
-    construction).
+    collectives, the one-sided window protocol, the in-place partition
+    movements consume it unchanged); overrides construction (no shared
+    clock list), the barrier (message-based epoch agreement instead of
+    ``VClock.sync_max`` across threads), and — when a
+    :class:`~repro.dsm.shm.DataPlane` is wired — the transport hooks:
+    large array payloads cross as shared-memory slab descriptors
+    instead of pickles through the queue pipes (and, for movement code
+    that opted a source segment in via ``DataPlane.register_borrow``,
+    as borrowed regions with zero intermediate copies).  One-sided
+    windows allocated through :meth:`win_alloc` land on the plane's
+    symmetric heap when it has one: a ``put`` to such a window is a
+    direct write into the target rank's heap pages, and ``get`` reads
+    them — true one-sided progress, no target CPU.  Virtual time is
+    charged on the logical payload before packing, so the cost model
+    cannot tell the transports apart (cross-backend vtime parity is
+    preserved by construction).
+
+    The endpoint fabric comes from a :class:`Transport` (defaulting to
+    :class:`QueueTransport` over ``channels``); it may be pre-sized
+    beyond the active rank count (elastic launches build it for
+    ``max_ranks``): endpoints exist for every potential member, while
+    the collectives only ever span ``self.nranks`` — an elastic reshape
+    is then just an update of ``nranks`` and the mail epoch at a
+    quiesced point, no new transport.
     """
 
     def __init__(self, rank: int, nranks: int, machine: "MachineModel",
-                 channels, plane: "DataPlane | None" = None) -> None:
-        if len(channels) < nranks:
-            raise ValueError("one channel per rank required")
+                 channels=None, plane: "DataPlane | None" = None,
+                 transport: Transport | None = None,
+                 mail_epoch: int = 0) -> None:
+        if transport is None:
+            if channels is None or len(channels) < nranks:
+                raise ValueError("one channel per rank required")
+            transport = QueueTransport(channels)
         # deliberately NOT calling super().__init__: there is no clock
         # list or thread barrier to build in a per-process communicator.
-        # The channel fabric may be pre-sized beyond the active rank
-        # count (elastic launches build it for max_ranks): endpoints
-        # exist for every potential member, while the collectives only
-        # ever span ``self.nranks`` — an elastic reshape is then just an
-        # update of ``nranks`` at a quiesced point, no new transport.
         self.nranks = nranks
         self.machine = machine
         self.coll_algo = getattr(machine, "coll_algo", "flat")
         self.plane = plane
-        self.mailboxes = [ProcessMailbox(r, ch)
-                          for r, ch in enumerate(channels)]
+        self.transport = transport
+        self.mailboxes = transport.endpoints(rank)
+        if len(self.mailboxes) < nranks:
+            raise ValueError("transport fabric smaller than the membership")
+        self.mail_epoch = mail_epoch
+        self.mailboxes[rank].set_epoch(mail_epoch)
         self._rank = rank
+        self._windows: dict[tuple[int, str], np.ndarray] = {}
+        self._win_lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def _egress(self, obj: Any, owned: bool) -> Any:
+    def _egress(self, obj: Any, owned: bool, dest: int) -> Any:
         if self.plane is None:
             # keep the defensive copy: mp.Queue's feeder thread pickles
             # *after* put returns, so an un-owned payload could still be
             # mutated by the sender while in flight.
-            return super()._egress(obj, owned)
+            return super()._egress(obj, owned, dest)
         return self.plane.outbound(obj, owned)
 
-    def _ingress(self, msg: Message) -> Any:
+    def _ingress_value(self, obj: Any) -> Any:
         if self.plane is None:
-            return msg.payload
-        return self.plane.inbound(msg.payload)
+            return obj
+        return self.plane.inbound(obj)
 
     def reshape(self, new_n: int) -> None:
         """Adopt a new active membership (elastic protocol, quiesced).
 
         Valid only at a point where every in-flight collective has
         completed on every rank and ``new_n`` does not exceed the
-        pre-sized channel fabric.
+        pre-sized channel fabric.  Bumps the mail epoch: anything a
+        retired membership still has queued in the (surviving) channels
+        becomes a dead letter rather than a candidate match for the new
+        membership's selective receives.
         """
         if new_n < 1 or new_n > len(self.mailboxes):
             raise ValueError(
                 f"membership {new_n} outside the pre-sized fabric "
                 f"(1..{len(self.mailboxes)})")
         self.nranks = new_n
+        self.mail_epoch += 1
+        self.mailboxes[self._rank].set_epoch(self.mail_epoch)
+
+    # ------------------------------------------------------------------
+    # one-sided traffic over the symmetric heap (when the plane has one)
+    # ------------------------------------------------------------------
+    def win_alloc(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        if self.plane is None:
+            return super().win_alloc(name, shape, dtype)
+        if self.plane.heap is None:
+            # first symmetric allocation of this process: provision the
+            # rank's heap segment (the parent sweeps the deterministic
+            # name grid in its launch ``finally`` regardless).
+            from repro.dsm.shm import SymmetricHeap
+
+            self.plane.heap = SymmetricHeap(self.plane.pool.launch_id,
+                                            self._rank)
+        win = self.win_expose(
+            name, self.plane.heap.alloc(name, shape, dtype))
+        # implicit barrier, like shmem_malloc: afterwards every rank's
+        # segment exists, so peer_view attaches cannot race creation.
+        self.barrier()
+        return win
+
+    def _put_direct(self, dest: int, name: str) -> np.ndarray | None:
+        """The target's window when this rank can write it in place.
+
+        Symmetry is the authorisation: a heap window exists at the same
+        name (and offset) on every rank, so holding it locally proves
+        the target exposed it too.  Routing subclasses narrow this to
+        reachable (co-located) destinations.
+        """
+        heap = self.plane.heap if self.plane is not None else None
+        if heap is not None and heap.has(name):
+            return heap.peer_view(dest, name)
+        return None
+
+    def _deliver_put(self, ctx: "RankContext", name: str, values, dest: int,
+                     idx, axis: int, owned: bool, nbytes: int) -> None:
+        win = self._put_direct(dest, name)
+        if win is not None:
+            # the one-sided fast path: one region copy into the target's
+            # heap pages; the envelope still crosses for fence coupling.
+            axis_write(win, idx, axis, values)
+            payload = (name, axis, idx, PUT_APPLIED)
+        else:
+            payload = (name, axis, idx, self._egress(values, owned, dest))
+        self.mailboxes[dest].put(Message(
+            src=ctx.rank, dst=dest, tag=TAG_PUT, payload=payload,
+            nbytes=nbytes, arrival=ctx.clock.now, epoch=self.mail_epoch))
+
+    def _fetch_window(self, ctx: "RankContext", name: str, src: int, idx,
+                      axis: int) -> np.ndarray:
+        win = self._put_direct(src, name)
+        if win is None:
+            raise RuntimeError(
+                "one-sided get across processes needs a symmetric-heap "
+                f"window (win_alloc); {name!r} is not heap-backed")
+        return np.ascontiguousarray(axis_read(win, idx, axis))
 
     # ------------------------------------------------------------------
     def barrier(self) -> None:
@@ -228,11 +353,11 @@ class ProcCommunicator(Communicator):
             for r in range(1, self.nranks):
                 self.mailboxes[r].put(Message(
                     src=0, dst=r, tag=_TAG_BARRIER_OUT, payload=epoch,
-                    nbytes=8, arrival=epoch))
+                    nbytes=8, arrival=epoch, epoch=self.mail_epoch))
         else:
             self.mailboxes[0].put(Message(
                 src=ctx.rank, dst=0, tag=_TAG_BARRIER_IN, payload=clk.now,
-                nbytes=8, arrival=clk.now))
+                nbytes=8, arrival=clk.now, epoch=self.mail_epoch))
             epoch = self.mailboxes[ctx.rank].get(
                 source=0, tag=_TAG_BARRIER_OUT).payload
         clk.advance_to(epoch)
@@ -242,3 +367,4 @@ class ProcCommunicator(Communicator):
         """Close this process's endpoints (unwind path)."""
         for mb in self.mailboxes:
             mb.close()
+        self.transport.close()

@@ -120,13 +120,6 @@ def _axis_take(arr: np.ndarray, idx: np.ndarray, axis: int) -> np.ndarray:
     return np.take(arr, idx, axis=axis)
 
 
-def _axis_put(arr: np.ndarray, idx: np.ndarray, axis: int,
-              vals: np.ndarray) -> None:
-    sl: list = [slice(None)] * arr.ndim
-    sl[axis] = idx
-    arr[tuple(sl)] = vals
-
-
 def movable_fields(ctx: "ExecutionContext") -> list[str]:
     """Partitioned fields whose regions travel rank-to-rank.
 
@@ -146,30 +139,73 @@ def movable_fields(ctx: "ExecutionContext") -> list[str]:
     return out
 
 
-def execute_moves(ctx: "ExecutionContext", plan: ReshapePlan, comm) -> None:
-    """Walk the move schedule: send sourced regions, sink received ones.
+def _move_payload(arr: np.ndarray, idx: np.ndarray, axis: int):
+    """Source-side packing of one move: ``(values, owned, put_idx)``.
 
-    Every participating rank iterates the identical deterministic list;
-    sends are asynchronous (mailbox puts), receives block, and per-
-    ``(src, tag)`` FIFO keeps multiple fields between one pair ordered —
-    so one pass cannot deadlock.  On a shrink this runs on the *old*
-    communicator (retiring sources still have endpoints); on a grow on
+    A contiguous index run becomes a *slice view* of the field with
+    ``(lo, hi)`` bounds — when the owning rank registered the field's
+    segment on its data plane (``DataPlane.register_borrow``) that view
+    ships as a zero-copy borrowed region, and the choreography's
+    trailing barrier (:func:`join_rendezvous` / the backends' shrink
+    barrier) is the borrow's release fence.  Non-contiguous runs fall
+    back to a fresh ``np.take`` staging buffer (owned: no defensive
+    copy needed).
+    """
+    idx = np.asarray(idx)
+    if idx.size and np.array_equal(
+            idx, np.arange(idx[0], idx[0] + idx.size)):
+        lo, hi = int(idx[0]), int(idx[0]) + int(idx.size)
+        sl: list = [slice(None)] * arr.ndim
+        sl[axis] = slice(lo, hi)
+        view = arr[tuple(sl)]
+        if view.flags.c_contiguous:
+            return view, False, (lo, hi)
+        return np.ascontiguousarray(view), True, (lo, hi)
+    return _axis_take(arr, idx, axis), True, idx
+
+
+def execute_moves(ctx: "ExecutionContext", plan: ReshapePlan, comm) -> None:
+    """Walk the move schedule one-sidedly: put sourced regions into the
+    new owners' windows, fence the incoming schedule.
+
+    Every participating rank iterates the identical deterministic list.
+    Each movable field is exposed as a window (``mv:<field>``) up
+    front; sources *put* their regions straight at the destination
+    indices (puts never block), and one fence per rank completes the
+    incoming moves in schedule order — deterministic, so the clock
+    coupling is bit-reproducible, and the envelope carries its window
+    name, so interleavings across fields between one pair still land
+    correctly.  Target regions of distinct moves are disjoint by
+    construction (each region has exactly one new owner), which is what
+    makes the one-sided port value-identical to the old send/recv walk.
+    On a shrink this runs on the *old* communicator (retiring sources
+    still have endpoints, and fence an empty schedule); on a grow on
     the *new* one (joining sinks do).
     """
     me = ctx.rank
+    fields = []
     for name in movable_fields(ctx):
         part = ctx.partitioned[name]
         arr = getattr(ctx.instance, name)
         axis = part.layout.axis
-        n = arr.shape[axis]
-        for mv in plan.moves(part.layout, n):
+        moves = list(plan.moves(part.layout, arr.shape[axis]))
+        if moves:
+            fields.append((name, arr, axis, moves))
+    schedule: list[int] = []
+    for name, arr, axis, moves in fields:
+        comm.win_expose("mv:" + name, arr)
+        for mv in moves:
             if mv.src == me:
-                # freshly-taken staging buffer: owned, no defensive copy
-                comm._send_owned(_axis_take(arr, mv.idx, axis), mv.dst,
-                                 TAG_RESHAPE_MOVE)
+                values, owned, put_idx = _move_payload(arr, mv.idx, axis)
+                comm.put("mv:" + name, values, mv.dst, put_idx,
+                         axis=axis, owned=owned)
             elif mv.dst == me:
-                vals = comm.recv(source=mv.src, tag=TAG_RESHAPE_MOVE)
-                _axis_put(arr, mv.idx, axis, vals)
+                schedule.append(mv.src)
+    try:
+        comm.fence(schedule)
+    finally:
+        for name, _arr, _axis, _moves in fields:
+            comm.win_drop("mv:" + name)
 
 
 def refresh_new_members(ctx: "ExecutionContext", plan: ReshapePlan,

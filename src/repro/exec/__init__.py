@@ -31,6 +31,7 @@ from repro.exec.registry import (
     register_backend,
 )
 from repro.exec.sequential import SequentialBackend
+from repro.exec.sockets import SocketsBackend
 from repro.exec.threads import ThreadTeamBackend
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "PhaseSpec",
     "SequentialBackend",
     "SimClusterBackend",
+    "SocketsBackend",
     "ThreadTeamBackend",
     "build_default_registry",
     "default_registry",

@@ -153,6 +153,9 @@ class _ChildTask:
         self.store = store
         self.launch_id = launch_id
         self.max_ranks = max_ranks
+        #: backend-specific launch plumbing (e.g. the sockets backend's
+        #: address-rendezvous queue); filled by ``_launch_extras``.
+        self.extras: dict = {}
 
     def rebuild_spec(self) -> PhaseSpec:
         if self.plugs is None:
@@ -264,7 +267,11 @@ class ProcessReshaper(RankReshaper):
                 self.task.channels[j].put({
                     "kind": "unpark", "count": count, "epoch": epoch,
                     "step": step, "old_n": plan.old_n,
-                    "segments": self.segment_meta})
+                    "segments": self.segment_meta,
+                    # the membership epoch the joiner's mailbox must
+                    # match: the switch below bumps every survivor to
+                    # exactly this value.
+                    "mail_epoch": self.comm.mail_epoch + 1})
         # fence: rank 0's notify/un-park sends precede every peer's
         # release, so nothing the new membership does can reach the
         # parent before the membership change itself.
@@ -328,8 +335,10 @@ def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
         # clock starts at the transition epoch plus the spawn cost.
         clock = VClock(join_payload["epoch"] + machine.spawn_cost)
     clock.contention = machine.contention_factor(rank, config.nranks)
-    comm = ProcCommunicator(rank, config.nranks, machine, task.channels,
-                            plane=plane)
+    mail_epoch = 0 if join_payload is None \
+        else join_payload.get("mail_epoch", 0)
+    comm = task.backend.make_communicator(rank, config.nranks, machine,
+                                          task, plane, mail_epoch)
     rankctx = RankContext(rank=rank, nranks=config.nranks, clock=clock,
                           comm=comm)
     _bind(rankctx)
@@ -343,8 +352,8 @@ def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
                                         reshaper=reshaper)
         instance = spec.woven(*spec.ctor_args, **spec.ctor_kwargs)
         if join_payload is None:
-            manager, meta = _place_shared_fields(ctx, instance, comm,
-                                                 task.launch_id)
+            manager, meta = task.backend.place_fields(ctx, instance, comm,
+                                                      task.launch_id)
             reshaper.segment_meta = meta
         else:
             meta = join_payload["segments"]
@@ -463,6 +472,8 @@ class MultiprocessBackend(ExecutionBackend):
     #: modes this backend can launch when pinned by name (consulted by
     #: ``BackendRegistry.supports`` / the advisor ladder).
     modes = (Mode.DISTRIBUTED,)
+    #: worker process name prefix (leak checks key on it).
+    proc_prefix = "mp-rank-"
 
     def __init__(self, start_method: str | None = None,
                  join_timeout: float = 120.0,
@@ -495,6 +506,39 @@ class MultiprocessBackend(ExecutionBackend):
                      else PROCESS_RANKS_CALIBRATION)
         return machine.with_(**constants)
 
+    def make_communicator(self, rank: int, nranks: int, machine,
+                          task: _ChildTask, plane, mail_epoch: int
+                          ) -> ProcCommunicator:
+        """Build one rank's communicator (the transport seam subclasses
+        override — the sockets backend returns a topology-routing
+        communicator over a hybrid queue/TCP fabric here)."""
+        return ProcCommunicator(rank, nranks, machine, task.channels,
+                                plane=plane, mail_epoch=mail_epoch)
+
+    def place_fields(self, ctx, instance, comm, launch_id: str
+                     ) -> tuple[shm.SegmentManager | None, dict]:
+        """Field-placement seam: this backend aliases partitioned fields
+        in shared segments; a multi-node backend keeps them private
+        (pages cannot alias across physical nodes) and overrides this
+        to a no-op."""
+        return _place_shared_fields(ctx, instance, comm, launch_id)
+
+    def _make_funnel(self, store, mpctx, max_ranks: int) -> CheckpointFunnel:
+        """Checkpoint-funnel seam: queue-based here; the sockets backend
+        substitutes the framed-TCP variant riding its transport."""
+        return CheckpointFunnel(store, mpctx, max_ranks)
+
+    def _launch_extras(self, mpctx) -> dict:
+        """Extra launch-scoped plumbing shipped to every ``_ChildTask``
+        (``task.extras``); the sockets backend adds its address
+        rendezvous queue here."""
+        return {}
+
+    def _after_start(self, spec: PhaseSpec, procs, channels,
+                     extras: dict) -> None:
+        """Parent-side hook between process start and report collection
+        (the sockets backend runs its address rendezvous here)."""
+
     # ------------------------------------------------------------------
     def _fabric_size(self, spec: PhaseSpec) -> int:
         """Ranks to pre-fork: the launch shape plus every in-place
@@ -518,19 +562,22 @@ class MultiprocessBackend(ExecutionBackend):
         channels = [mpctx.Queue() for _ in range(max_ranks)]
         result_queue = mpctx.Queue()
         notify_queue = mpctx.Queue()
-        funnel = CheckpointFunnel(services.store, mpctx, max_ranks)
+        funnel = self._make_funnel(services.store, mpctx, max_ranks)
+        extras = self._launch_extras(mpctx)
         procs: list = []
         try:
             for r in range(max_ranks):
                 task = _ChildTask(r, spec, services, self, channels,
                                   result_queue, notify_queue,
                                   funnel.client(r), launch_id, max_ranks)
+                task.extras = extras
                 p = mpctx.Process(target=_rank_main, args=(r, task),
-                                  daemon=True, name=f"mp-rank-{r}")
+                                  daemon=True, name=f"{self.proc_prefix}{r}")
                 procs.append(p)
                 p.start()
             # serve checkpoints only after all forks: no duplicated thread.
             funnel.start()
+            self._after_start(spec, procs, channels, extras)
             reports, stray_events, active = self._collect(
                 procs, result_queue, notify_queue, n)
         finally:
@@ -718,6 +765,7 @@ class MultiprocessBackend(ExecutionBackend):
         for f in fields:
             shm.unlink_by_name(shm.segment_name(launch_id, f))
         shm.unlink_pool(launch_id, max_ranks)
+        shm.unlink_heaps(launch_id, max_ranks)
 
     @staticmethod
     def _merge_events(log: EventLog, reports: dict, stray: list) -> None:

@@ -128,17 +128,20 @@ class BackendRegistry:
 # the process-wide default registry
 # ---------------------------------------------------------------------------
 def build_default_registry() -> BackendRegistry:
-    """A fresh registry holding the five stock backends.
+    """A fresh registry holding the six stock backends.
 
     The simulated cluster stays the DISTRIBUTED default (virtual-time
-    fidelity); the real multiprocessing backend is registered by name —
-    ``ExecConfig.distributed(n).with_backend("multiproc")`` — and serves
-    as the distributed fallback when the simulated one is unregistered.
+    fidelity); the real multiprocessing and sockets backends are
+    registered by name — ``ExecConfig.distributed(n)
+    .with_backend("multiproc")`` / ``.with_backend("sockets")`` — and
+    serve as distributed fallbacks when the simulated one is
+    unregistered.
     """
     from repro.exec.cluster import SimClusterBackend
     from repro.exec.hybrid import HybridBackend
     from repro.exec.multiproc import MultiprocessBackend
     from repro.exec.sequential import SequentialBackend
+    from repro.exec.sockets import SocketsBackend
     from repro.exec.threads import ThreadTeamBackend
 
     reg = BackendRegistry()
@@ -147,6 +150,7 @@ def build_default_registry() -> BackendRegistry:
     reg.register(SimClusterBackend(), mode=Mode.DISTRIBUTED)
     reg.register(HybridBackend(), mode=Mode.HYBRID)
     reg.register(MultiprocessBackend())
+    reg.register(SocketsBackend())
     return reg
 
 

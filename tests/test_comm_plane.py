@@ -470,3 +470,59 @@ class TestTreeCollectives:
         assert tree_growth < flat_growth, (cost, "tree lost its log-P edge")
         # and at fixed P the tree is outright cheaper than the funnel
         assert cost["tree"][16] < cost["flat"][16], cost
+
+
+class TestAutoAlgorithmChoice:
+    """``coll_algo="auto"``: the machine model picks flat vs tree per
+    collective from its own network constants — no agreement round, and
+    ``"flat"`` stays the bit-exact default for the paper runs."""
+
+    def test_advisor_verdicts_track_the_modelled_critical_paths(self):
+        m = MachineModel()
+        # degenerate team sizes: nothing to fan out, flat by definition
+        assert m.collective_algo(1) == "flat"
+        assert m.collective_algo(2, nbytes=1 << 30) == "flat"
+        # latency-bound: tree wins as soon as rounds < P - 1
+        assert m.collective_algo(4, nbytes=0) == "tree"
+        assert m.collective_algo(64, nbytes=0) == "tree"
+        # bandwidth-bound at modest P: store-and-forward doubling loses
+        # (P=5 -> 3 rounds, 2*3 >= 4 relay cost beats 4 serialised sends)
+        assert m.collective_algo(5, nbytes=1 << 30) == "flat"
+        # ... but enough ranks beat the doubling even for huge payloads
+        assert m.collective_algo(64, nbytes=1 << 30) == "tree"
+
+    def test_auto_is_consulted_per_call_with_payload_size(self):
+        from repro.dsm.comm import Communicator
+        from repro.vtime.clock import VClock
+
+        m = MachineModel(coll_algo="auto")
+        comm = Communicator(5, m, [VClock() for _ in range(5)])
+        try:
+            assert comm.coll_algo == "auto"
+            assert comm._algo(nbytes=0) == "tree"
+            assert comm._algo(nbytes=1 << 30) == "flat"
+        finally:
+            comm.close()
+
+    @pytest.mark.parametrize("nranks", [3, 5, 8])
+    def test_auto_matches_flat_values_bit_exactly(self, nranks):
+        from repro.dsm.comm import current_rank
+        from repro.dsm.simcluster import SimCluster
+
+        def entry():
+            ctx = current_rank()
+            c = ctx.comm
+            b = c.bcast(np.arange(4.0) if ctx.rank == 0 else None, root=0)
+            g = c.gather(np.arange(3.0) * (ctx.rank + 1), root=0)
+            r = c.reduce(float(ctx.rank + 1), root=0)
+            return (b.tolist(),
+                    None if g is None else [x.tolist() for x in g], r)
+
+        results = {}
+        for algo in ("flat", "auto"):
+            cl = SimCluster(nranks, MachineModel(coll_algo=algo))
+            try:
+                results[algo] = cl.run(entry)
+            finally:
+                cl.shutdown()
+        assert results["flat"] == results["auto"]

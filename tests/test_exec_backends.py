@@ -2,9 +2,9 @@
 
 The load-bearing guarantees of the exec package:
 
-* all five stock backends — including the real multiprocessing one —
-  run the same woven app to bit-identical results, with identical
-  checkpoint contents at matching safe points;
+* all six stock backends — the real multiprocessing one and the
+  sockets-fabric one included — run the same woven app to bit-identical
+  results, with identical checkpoint contents at matching safe points;
 * virtual time is monotone across an adaptation chain that crosses
   every backend;
 * backends own worker lifecycle — no team/rank threads, worker
@@ -40,6 +40,7 @@ from repro.exec import (
     MultiprocessBackend,
     SequentialBackend,
     SimClusterBackend,
+    SocketsBackend,
     ThreadTeamBackend,
     build_default_registry,
     default_registry,
@@ -53,15 +54,17 @@ REF = SOR(n=N, iterations=ITERS).execute()
 WOVEN = plug(SOR, SOR_ADAPTIVE)
 
 MULTIPROC = ExecConfig.distributed(3).with_backend("multiproc")
+SOCKETS = ExecConfig.distributed(3).with_backend("sockets")
 
 #: (label, config) for every stock backend; labels key result dicts
-#: because two distributed configs share a Mode.
+#: because several distributed configs share a Mode.
 ALL_CONFIGS = [
     ("sequential", ExecConfig.sequential()),
     ("threads", ExecConfig.shared(3)),
     ("simcluster", ExecConfig.distributed(3)),
     ("hybrid", ExecConfig.hybrid(2, 2)),
     ("multiproc", MULTIPROC),
+    ("sockets", SOCKETS),
 ]
 
 
@@ -138,6 +141,10 @@ class TestRegistry:
         assert MultiprocessBackend().capabilities(MULTIPROC) \
             == Capabilities(rank_collectives=True, shared_fields=True,
                             elastic_ranks=True)
+        # the sockets fabric spans physical nodes: no page aliasing, so
+        # no shared fields; rank-count changes go through relaunch.
+        assert SocketsBackend().capabilities(SOCKETS) \
+            == Capabilities(rank_collectives=True)
 
     def test_multiproc_registered_by_name_not_mode_default(self):
         reg = build_default_registry()
@@ -156,7 +163,10 @@ class TestRegistry:
         assert reg.supports(Mode.DISTRIBUTED)
         assert isinstance(reg.resolve(ExecConfig.distributed(2)),
                           MultiprocessBackend)
-        reg.unregister("multiproc")
+        reg.unregister("multiproc")  # next name down the ladder
+        assert isinstance(reg.resolve(ExecConfig.distributed(2)),
+                          SocketsBackend)
+        reg.unregister("sockets")
         assert not reg.supports(Mode.DISTRIBUTED)
         with pytest.raises(WeaveError, match="no execution backend"):
             reg.resolve(ExecConfig.distributed(2))
@@ -204,15 +214,18 @@ class TestBackendParity:
             AdaptStep(at=2, config=ExecConfig.shared(3)),
             AdaptStep(at=4, config=ExecConfig.distributed(3)),
             AdaptStep(at=6, config=MULTIPROC),
-            AdaptStep(at=9, config=ExecConfig.hybrid(2, 2)),
+            AdaptStep(at=8, config=SOCKETS),
+            AdaptStep(at=10, config=ExecConfig.hybrid(2, 2)),
         ])
         _, res = run_sor(tmp_path, ExecConfig.sequential(), "chain",
                          plan=plan)
         assert res.value == REF
         assert [a.to_config.mode for a in res.adaptations] == \
-            [Mode.SHARED, Mode.DISTRIBUTED, Mode.DISTRIBUTED, Mode.HYBRID]
+            [Mode.SHARED, Mode.DISTRIBUTED, Mode.DISTRIBUTED,
+             Mode.DISTRIBUTED, Mode.HYBRID]
         assert res.adaptations[2].to_config.backend == "multiproc"
-        assert len(res.phases) == 5
+        assert res.adaptations[3].to_config.backend == "sockets"
+        assert len(res.phases) == 6
         for ph in res.phases:
             assert ph.end_vtime >= ph.start_vtime
         for a, b in zip(res.phases, res.phases[1:]):
@@ -229,7 +242,8 @@ class TestBackendParity:
             AdaptStep(at=3, config=ExecConfig.hybrid(2, 2)),
             AdaptStep(at=5, config=MULTIPROC),
             AdaptStep(at=7, config=ExecConfig.shared(4)),
-            AdaptStep(at=9, config=ExecConfig.distributed(3)),
+            AdaptStep(at=9, config=SOCKETS),
+            AdaptStep(at=11, config=ExecConfig.distributed(3)),
         ])
         _, res = run_sor(tmp_path, ExecConfig.shared(2), "leak", plan=plan)
         assert res.value == REF
@@ -237,7 +251,7 @@ class TestBackendParity:
                  if t.name.startswith(("team-w", "rank-"))]
         assert stray == [], f"leaked worker threads: {stray}"
         procs = [p.name for p in multiprocessing.active_children()
-                 if p.name.startswith("mp-rank-")]
+                 if p.name.startswith(("mp-rank-", "sk-rank-"))]
         assert procs == [], f"leaked worker processes: {procs}"
         assert shm.live_segments() == []
         if os.path.isdir("/dev/shm"):
@@ -262,6 +276,22 @@ class TestMultiprocStartMethods:
                      entry="execute",
                      config=ExecConfig.distributed(2)
                      .with_backend("multiproc"), fresh=True)
+        assert res.value == REF
+
+    def test_sockets_backend_survives_spawn_pickling(self, tmp_path):
+        """The sockets launch plumbing — rendezvous queue in the task,
+        funnel address, transport construction in the child — must all
+        survive the spawn pickling round trip."""
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        reg = build_default_registry()
+        reg.register(SocketsBackend(start_method="spawn"), replace=True)
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "sk-spawn",
+                     registry=reg)
+        res = rt.run(WOVEN, ctor_kwargs={"n": N, "iterations": ITERS},
+                     entry="execute",
+                     config=ExecConfig.distributed(2)
+                     .with_backend("sockets"), fresh=True)
         assert res.value == REF
 
 
@@ -319,7 +349,8 @@ class TestRegistryAwareSelection:
     def test_advisor_ladder_skips_unregistered_modes(self):
         reg = build_default_registry()
         reg.unregister("simcluster")
-        reg.unregister("multiproc")  # both distributed-capable backends
+        reg.unregister("multiproc")
+        reg.unregister("sockets")  # all three distributed-capable backends
         adv = SelfAdaptationAdvisor(MACHINE, max_pe=16, registry=reg)
         assert all(c.mode is not Mode.DISTRIBUTED for c in adv.ladder)
         assert any(c.mode is Mode.SHARED for c in adv.ladder)
@@ -343,6 +374,7 @@ class TestRegistryAwareSelection:
         reg.unregister("threads")
         reg.unregister("simcluster")
         reg.unregister("multiproc")
+        reg.unregister("sockets")
         adv = SelfAdaptationAdvisor(MACHINE, max_pe=8, window=3)
         assert any(c.mode is Mode.SHARED for c in adv.ladder)  # global view
         rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / "sync",
@@ -364,6 +396,7 @@ class TestRegistryAwareSelection:
         # the named multiprocessing backend keeps DISTRIBUTED launchable
         assert full.config_for(8) == ExecConfig.distributed(8)
         reg.unregister("multiproc")
+        reg.unregister("sockets")  # the last distributed-capable name
         assert full.config_for(8) == ExecConfig.shared(4)  # capped at node
         reg.unregister("threads")
         assert full.config_for(8) == ExecConfig.sequential()
