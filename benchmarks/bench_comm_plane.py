@@ -236,7 +236,10 @@ def test_comm_plane(benchmark, tmp_path):
         return rows
 
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    report.emit(benchmark)
+    q4, s4, d4 = rows[("scatter+halo", 4)]
+    report.emit(benchmark, json_name="comm_plane",
+                extra={"speedup_slab_4r": q4 / s4,
+                       "speedup_direct_4r": q4 / d4})
     _no_leaks()
 
     # the headline: >= 2x wall on large-array scatter+halo at 4+ ranks

@@ -97,7 +97,9 @@ def test_elastic_reshape_vs_relaunch(benchmark, tmp_path):
         return rows
 
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    report.emit(benchmark)
+    report.emit(benchmark, json_name="elastic_reshape",
+                extra={f"{k}_{b}_wall_ratio": lw / rw
+                       for (k, b), (rw, lw, _, _) in rows.items()})
 
     for (kernel, backend), (rw, lw, rres, lres) in rows.items():
         where = f"{kernel}/{backend}"

@@ -1,0 +1,147 @@
+"""The persistent runtime service vs one-Runtime-per-job — throughput.
+
+The cost the service amortizes is *world construction*: a naive driver
+pays, per job, a fresh ``Runtime``, a fork per rank, the shared-segment
+allocations, the mailbox fabric and the teardown of all of it.  The
+:class:`~repro.service.daemon.RuntimeService` pays those once — its
+pre-forked fleet parks between jobs, its shared-memory arena re-leases
+the same segments, and activation is a ticket through an already-open
+channel — and its lanes run queued jobs concurrently on the pooled
+workers, which a one-at-a-time driver cannot.
+
+This benchmark queues 100 short SOR/MolDyn jobs and drains them both
+ways.  The naive arm is the strongest sequential baseline: fork start
+method, data plane on, no checkpointing.  Jobs/sec is the headline
+(asserted >= 2x); per-job p50/p99 latency lands in the series —
+service latencies come from the daemon's own submit->finish clock, the
+naive arm's from batch start to job completion, which is what a queued
+caller observes.
+
+Single-job *values* through the service are bit-identical to direct
+``Runtime.run`` on multiproc — asserted per job against precomputed
+references (and again, with vtime, by the service test suite).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from paper_report import FigureReport
+from repro.apps.moldyn import MolDyn
+from repro.apps.plugs.moldyn_plugs import MOLDYN_CKPT, MOLDYN_DIST
+from repro.apps.plugs.sor_plugs import SOR_ADAPTIVE
+from repro.core import ExecConfig, Runtime, plug
+from repro.apps.sor import SOR
+from repro.dsm import shm
+from repro.service import RuntimeService, ServiceClient
+from repro.vtime.machine import MachineModel
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="the benchmark measures fork-based process fleets")
+
+MACHINE = MachineModel(nodes=2, cores_per_node=4)
+WORKERS, LANES, NRANKS = 4, 2, 2
+JOBS = 100
+
+SOR_W = plug(SOR, SOR_ADAPTIVE)
+MOLDYN_W = plug(MolDyn, MOLDYN_DIST + MOLDYN_CKPT)
+
+#: the mixed batch: ~2/3 SOR, ~1/3 MolDyn, all short.
+SOR_KW = {"n": 32, "iterations": 4}
+MOLDYN_KW = {"n": 24, "steps": 3}
+
+
+def _batch() -> list[tuple[type, dict]]:
+    return [(MOLDYN_W, MOLDYN_KW) if i % 3 == 2 else (SOR_W, SOR_KW)
+            for i in range(JOBS)]
+
+
+def _naive(tmp_path) -> tuple[float, list[float], list[object]]:
+    """Sequential one-Runtime-per-job baseline on the multiproc backend."""
+    cfg = ExecConfig.distributed(NRANKS).with_backend("multiproc")
+    latencies, values = [], []
+    t0 = time.perf_counter()
+    for i, (woven, kwargs) in enumerate(_batch()):
+        rt = Runtime(machine=MACHINE, ckpt_dir=tmp_path / f"naive{i}")
+        res = rt.run(woven, ctor_kwargs=kwargs, entry="execute",
+                     config=cfg, fresh=True)
+        latencies.append(time.perf_counter() - t0)
+        values.append(res.value)
+    return time.perf_counter() - t0, latencies, values
+
+
+def _service(tmp_path) -> tuple[float, list[float], list[object]]:
+    """Queue the whole batch on a warm service, drain it."""
+    with RuntimeService(workers=WORKERS, lanes=LANES, machine=MACHINE,
+                        ckpt_dir=str(tmp_path / "svc")) as svc:
+        client = ServiceClient(svc.address)
+        # warm-up job: first activation pays one-time import costs.
+        client.result(client.submit(SOR_W, ctor_kwargs=SOR_KW,
+                                    entry="execute", nranks=NRANKS),
+                      timeout=60.0)
+        t0 = time.perf_counter()
+        ids = [client.submit(woven, ctor_kwargs=kwargs, entry="execute",
+                             nranks=NRANKS)
+               for woven, kwargs in _batch()]
+        latencies, values = [], []
+        for jid in ids:
+            out = client.result(jid, timeout=300.0)
+            assert out["status"] == "done", out
+            latencies.append(out["latency_s"])
+            values.append(out["value"])
+        wall = time.perf_counter() - t0
+    return wall, latencies, values
+
+
+def _pct(sorted_vals: list[float], q: float) -> float:
+    i = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[i]
+
+
+def test_service_throughput(benchmark, tmp_path):
+    report = FigureReport(
+        "Service throughput",
+        f"{JOBS} queued short SOR/MolDyn jobs at {NRANKS} ranks: warm "
+        f"{WORKERS}-worker/{LANES}-lane service vs one-Runtime-per-job "
+        "(jobs/sec and per-job latency)",
+        ["arm", "jobs_per_s", "wall_s", "p50_s", "p99_s"])
+
+    def experiment():
+        n_wall, n_lat, n_vals = _naive(tmp_path)
+        s_wall, s_lat, s_vals = _service(tmp_path)
+        assert s_vals == n_vals, \
+            "service results diverged from direct runs"
+        return (n_wall, sorted(n_lat)), (s_wall, sorted(s_lat))
+
+    (n_wall, n_lat), (s_wall, s_lat) = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+    naive_tput, svc_tput = JOBS / n_wall, JOBS / s_wall
+    report.add("naive", naive_tput, n_wall,
+               _pct(n_lat, 0.50), _pct(n_lat, 0.99))
+    report.add("service", svc_tput, s_wall,
+               _pct(s_lat, 0.50), _pct(s_lat, 0.99))
+    report.emit(benchmark, json_name="service_throughput",
+                extra={"jobs": JOBS, "nranks": NRANKS,
+                       "workers": WORKERS, "lanes": LANES,
+                       "naive_jobs_per_s": naive_tput,
+                       "service_jobs_per_s": svc_tput,
+                       "speedup": svc_tput / naive_tput,
+                       "service_p50_s": _pct(s_lat, 0.50),
+                       "service_p99_s": _pct(s_lat, 0.99),
+                       "naive_p50_s": _pct(n_lat, 0.50),
+                       "naive_p99_s": _pct(n_lat, 0.99)})
+
+    if os.path.isdir("/dev/shm"):
+        left = [f for f in os.listdir("/dev/shm")
+                if f.startswith(shm.SHM_PREFIX)]
+        assert left == [], f"leaked segments: {left}"
+
+    # the headline: the warm fleet must at least double throughput.
+    assert svc_tput >= 2.0 * naive_tput, (
+        f"service only {svc_tput / naive_tput:.2f}x the naive driver "
+        f"({svc_tput:.1f} vs {naive_tput:.1f} jobs/s)")

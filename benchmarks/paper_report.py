@@ -9,6 +9,7 @@ land in pytest-benchmark's JSON when ``--benchmark-json`` is used.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -44,20 +45,53 @@ class FigureReport:
                                    for v, w in zip(r, widths)))
         return "\n".join(lines)
 
-    def emit(self, benchmark=None) -> None:
+    def emit(self, benchmark=None, json_name: str | None = None,
+             extra: dict | None = None) -> None:
         text = self.render()
         print("\n" + text)
         RESULTS_DIR.mkdir(exist_ok=True)
         out = RESULTS_DIR / f"{self.figure.lower().replace(' ', '_')}.txt"
         out.write_text(text + os.linesep)
+        if json_name is not None:
+            self.emit_json(json_name, extra)
         if benchmark is not None:
             benchmark.extra_info["figure"] = self.figure
             benchmark.extra_info["columns"] = self.columns
             benchmark.extra_info["rows"] = [
                 [_fmt(v) for v in r] for r in self.rows]
 
+    def emit_json(self, name: str, extra: dict | None = None) -> Path:
+        """Write the series machine-readable: ``BENCH_<name>.json``.
+
+        The rows land raw (unformatted values, NaN encoded as ``null``)
+        under the same column names the table prints, plus whatever
+        headline metrics the benchmark passes in ``extra`` — so a plot
+        script or a CI trend tracker never parses the text table.
+        """
+        RESULTS_DIR.mkdir(exist_ok=True)
+        doc = {
+            "name": name,
+            "figure": self.figure,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": [[_jsonable(v) for v in r] for r in self.rows],
+        }
+        if extra:
+            doc["extra"] = {k: _jsonable(v) for k, v in extra.items()}
+        out = RESULTS_DIR / f"BENCH_{name}.json"
+        out.write_text(json.dumps(doc, indent=2) + os.linesep)
+        return out
+
 
 def _fmt(v: object) -> str:
     if isinstance(v, float):
         return f"{v:.4f}"
+    return str(v)
+
+
+def _jsonable(v: object) -> object:
+    if isinstance(v, float):
+        return v if v == v else None  # NaN -> null
+    if isinstance(v, (int, str, bool)) or v is None:
+        return v
     return str(v)

@@ -124,9 +124,9 @@ class IncrementalCheckpointStore(CheckpointStore):
     def __init__(self, directory: str | os.PathLike,
                  anchor: AnchorPolicy | int = 8,
                  compress_min_bytes: int | None = None,
-                 shard_suffix: str = "") -> None:
+                 shard_suffix: str = "", ns_suffix: str = "") -> None:
         super().__init__(directory, compress_min_bytes=compress_min_bytes,
-                         shard_suffix=shard_suffix)
+                         shard_suffix=shard_suffix, ns_suffix=ns_suffix)
         if isinstance(anchor, int):
             anchor = AnchorEvery(anchor)
         self.anchor = anchor
@@ -144,7 +144,15 @@ class IncrementalCheckpointStore(CheckpointStore):
         return IncrementalCheckpointStore(
             self.dir, anchor=copy.deepcopy(self.anchor),
             compress_min_bytes=self.compress_min_bytes,
-            shard_suffix=f".r{rank}")
+            shard_suffix=f".r{rank}", ns_suffix=self.ns_suffix)
+
+    def _make_namespace(self, ns_suffix: str) -> "IncrementalCheckpointStore":
+        """Job namespaces keep the incremental behaviour, each with its
+        own anchor-policy copy and delta baseline."""
+        return IncrementalCheckpointStore(
+            self.dir, anchor=copy.deepcopy(self.anchor),
+            compress_min_bytes=self.compress_min_bytes,
+            ns_suffix=ns_suffix)
 
     # ------------------------------------------------------------------
     def reset_baseline(self) -> None:

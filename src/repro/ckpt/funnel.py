@@ -122,24 +122,30 @@ class CheckpointFunnel:
         self._client.close_all()
 
     # ------------------------------------------------------------------
-    def _handle(self, op: str, shard_rank, payload) -> tuple:
+    def _handle(self, op: str, shard_rank, payload,
+                store: "CheckpointStore | None" = None) -> tuple:
         """Perform one funnel request against the master store.
 
         Transport-independent: the queue drain below and the framed-TCP
         drain in :class:`SocketCheckpointFunnel` both feed it.  Never
         raises — errors travel back to the worker in the reply.
+
+        ``store`` substitutes another destination for this one request —
+        the service's fleet funnel routes each job's traffic to that
+        job's namespaced sub-store through here.
         """
+        base = self.store if store is None else store
         try:
             if op == _OP_WRITE:
                 if isinstance(payload, PackedSnapshot):
                     payload = payload.unpack(self._client)
-                target = (self.store if shard_rank is None
-                          else self.store.shard(shard_rank))
+                target = (base if shard_rank is None
+                          else base.shard(shard_rank))
                 target.write(payload)
                 return ("ok", target.last_write_nbytes,
                         target.last_write_kind)
             if op == _OP_FLUSH:
-                self.store.flush()
+                base.flush()
                 return ("ok", 0, KIND_FULL)
             return ("error", f"unknown funnel op {op!r}", None)
         except Exception:  # noqa: BLE001 - worker must not hang on us

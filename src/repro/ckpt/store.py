@@ -51,11 +51,17 @@ class CheckpointStore:
     STRATEGY_LOCAL checkpoint path; the master store's file listing and
     recovery only ever see master-format files, so shards never shadow a
     restartable checkpoint.
+
+    ``ns_suffix`` names a job namespace (:meth:`namespace`): files
+    ``ckpt_<count>.j<tag>[.r<rank>].pcr`` in the same directory.  The
+    same mechanism as shards, one level up — a namespaced store sees
+    only its own files, the master sees none of them, and a namespaced
+    store can itself shard, so STRATEGY_LOCAL works inside a namespace.
     """
 
     def __init__(self, directory: str | os.PathLike,
                  compress_min_bytes: int | None = None,
-                 shard_suffix: str = "") -> None:
+                 shard_suffix: str = "", ns_suffix: str = "") -> None:
         self.dir = Path(directory)
         self.dir.mkdir(parents=True, exist_ok=True)
         #: per-section zlib threshold (None disables compression).
@@ -70,10 +76,16 @@ class CheckpointStore:
         self.writer: "AsyncCheckpointWriter | None" = None
         #: "" for the master store, ".r<rank>" for a shard sub-store.
         self.shard_suffix = shard_suffix
-        self._name_re = _CKPT_RE if not shard_suffix else re.compile(
-            rf"^ckpt_(\d{{9}}){re.escape(shard_suffix)}\.pcr$")
+        #: "" outside a namespace, ".j<tag>" inside one.
+        self.ns_suffix = ns_suffix
+        ns = re.escape(ns_suffix)
+        self._name_re = re.compile(
+            rf"^ckpt_(\d{{9}}){ns}{re.escape(shard_suffix)}\.pcr$")
+        #: master + shard files of *this* namespace, shard rank captured.
+        self._any_re = re.compile(rf"^ckpt_(\d{{9}}){ns}(\.r\d+)?\.pcr$")
         self._shards: "dict[int, CheckpointStore]" = {}
         self._shard_lock = threading.Lock()
+        self._namespaces: "dict[str, CheckpointStore]" = {}
 
     # ------------------------------------------------------------------
     def attach_writer(self, writer: "AsyncCheckpointWriter") -> None:
@@ -121,10 +133,42 @@ class CheckpointStore:
     def _make_shard(self, rank: int) -> "CheckpointStore":
         return CheckpointStore(self.dir,
                                compress_min_bytes=self.compress_min_bytes,
-                               shard_suffix=f".r{rank}")
+                               shard_suffix=f".r{rank}",
+                               ns_suffix=self.ns_suffix)
+
+    # ------------------------------------------------------------------
+    def namespace(self, tag: str) -> "CheckpointStore":
+        """A per-job namespaced sub-store (service isolation).
+
+        Same directory, files ``ckpt_<count>.j<tag>[.r<rank>].pcr``.
+        Namespaces are invisible to the master store's listing, recovery
+        and ``clear`` — and vice versa — so two concurrent jobs saving
+        the same field names can never alias each other's bytes.
+        Cached per tag, like shards, so incremental delta baselines
+        persist across a job's phases.
+        """
+        if self.shard_suffix:
+            raise ValueError("shard stores cannot be namespaced")
+        if self.ns_suffix:
+            raise ValueError("namespaces do not nest")
+        safe = "".join(c for c in str(tag) if c.isalnum())
+        if not safe:
+            raise ValueError(f"namespace tag {tag!r} has no usable chars")
+        with self._shard_lock:
+            sub = self._namespaces.get(safe)
+            if sub is None:
+                sub = self._make_namespace(f".j{safe}")
+                self._namespaces[safe] = sub
+            return sub
+
+    def _make_namespace(self, ns_suffix: str) -> "CheckpointStore":
+        return CheckpointStore(self.dir,
+                               compress_min_bytes=self.compress_min_bytes,
+                               ns_suffix=ns_suffix)
 
     def path_for(self, count: int) -> Path:
-        return self.dir / f"ckpt_{count:09d}{self.shard_suffix}.pcr"
+        return self.dir / (f"ckpt_{count:09d}"
+                           f"{self.ns_suffix}{self.shard_suffix}.pcr")
 
     def _put(self, path: Path, data: bytes) -> None:
         """Persist one encoded image, sync or via the async writer."""
@@ -186,7 +230,7 @@ class CheckpointStore:
             raise ValueError("shard stores hold one rank's files only")
         out: dict[int, list[int]] = {}
         for name in os.listdir(self.dir):
-            m = _ANY_CKPT_RE.match(name)
+            m = self._any_re.match(name)
             if m and m.group(2):
                 out.setdefault(int(m.group(1)), []).append(
                     int(m.group(2)[2:]))
@@ -309,7 +353,7 @@ class CheckpointStore:
         for sub in shards:
             sub.clear()
         for name in os.listdir(self.dir):
-            m = _ANY_CKPT_RE.match(name)
+            m = self._any_re.match(name)
             if m and m.group(2):
                 try:
                     (self.dir / name).unlink()
@@ -324,10 +368,11 @@ class RunLedger:
     COMPLETED = "completed"
     FRESH = "fresh"
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(self, directory: str | os.PathLike,
+                 name: str = "run_status.json") -> None:
         self.dir = Path(directory)
         self.dir.mkdir(parents=True, exist_ok=True)
-        self.path = self.dir / "run_status.json"
+        self.path = self.dir / name
 
     # ------------------------------------------------------------------
     def status(self) -> str:

@@ -101,6 +101,17 @@ class ExecutionContext:
         #: after instantiation; always a subset of ``partitioned``).
         #: Data movement for these degenerates to synchronisation.
         self.shared_fields: set[str] = set()
+        #: ``whole_at_safepoints`` fields backed by a shared commit slab:
+        #: field -> whole-size shared view.  Each rank computes into its
+        #: *private* scratch array (replicated whole-array writes cannot
+        #: alias), but gather/allgather commit only the owned regions
+        #: into the slab and read the assembled whole back — no
+        #: root-funnelled payload bytes, and joiners refresh from the
+        #: slab instead of a root send.
+        self.slab_whole: dict[str, Any] = {}
+        #: optional external steering hook (the runtime service): polled
+        #: at rank 0 each safe point, verdict broadcast to every member.
+        self.steer = None
         #: optional SelfAdaptationAdvisor (sequential/shared phases only).
         self.advisor = advisor
         #: optional backend RankReshaper — the in-place rank-membership
@@ -320,6 +331,46 @@ class ExecutionContext:
 
         self._rank_comm_guarded(_do)
 
+    def _slab_sync(self, kind: str, field: str, part) -> None:
+        """Data movement on a slab-backed ``whole_at_safepoints`` field.
+
+        Every member computes into its private scratch array; the shared
+        slab carries the committed whole.  One movement is: barrier
+        (fences every peer's reads of the previous committed state),
+        writers commit — each owner its owned region for gather /
+        allgather, the root the whole for scatter — barrier (commits
+        landed), readers copy slab into scratch.  Values are
+        bit-identical to the message path: the owned regions tile the
+        partition axis, so the committed whole equals the
+        gathered-then-broadcast whole.
+        """
+        view = self.slab_whole[field]
+
+        def _do() -> None:
+            comm = self.rankctx.comm
+            arr = getattr(self.instance, field)
+            layout = part.layout
+            axis = layout.axis
+            idx = layout.owned(arr.shape[axis], self.rank, self.nranks)
+            sl = (slice(None),) * axis + (idx,)
+            comm.barrier()
+            if kind == "scatter":
+                if self.rank == 0:
+                    view[...] = arr
+            else:
+                view[sl] = arr[sl]
+            comm.barrier()
+            if kind == "allgather":
+                arr[...] = view
+            elif kind == "gather" and self.rank == 0:
+                arr[...] = view
+            elif kind == "scatter" and self.rank != 0:
+                arr[sl] = view[sl]
+            self.log.emit(kind, vtime=self.rankctx.clock.now,
+                          rank=self.rank, field=field, slab=True)
+
+        self._rank_comm_guarded(_do)
+
     def scatter_field(self, field: str) -> None:
         if not (self.distributed):
             return
@@ -328,6 +379,9 @@ class ExecutionContext:
         part = self._part(field)
         if self._shared(field):
             self._shared_sync("scatter", field)
+            return
+        if field in self.slab_whole:
+            self._slab_sync("scatter", field, part)
             return
 
         def _do() -> None:
@@ -347,6 +401,9 @@ class ExecutionContext:
         if self._shared(field):
             self._shared_sync("gather", field)
             return
+        if field in self.slab_whole:
+            self._slab_sync("gather", field, part)
+            return
 
         def _do() -> None:
             arr = getattr(self.instance, field)
@@ -365,6 +422,9 @@ class ExecutionContext:
         part = self._part(field)
         if self._shared(field):
             self._shared_sync("allgather", field)
+            return
+        if field in self.slab_whole:
+            self._slab_sync("allgather", field, part)
             return
 
         def _do() -> None:
@@ -454,6 +514,30 @@ class ExecutionContext:
                 self.replay.complete(self, count)
                 acted = True
             return acted
+        steer_step = None
+        if self.steer is not None and self.distributed:
+            # external steering (the runtime service's scheduler): rank 0
+            # polls the shared control block and the verdict is broadcast
+            # *unconditionally* every safe point — conditional polling
+            # cannot be made deadlock-free against neighbour-only
+            # collectives, a plain consensus bcast trivially is.  Placed
+            # after the replay branch, which returns early on every rank
+            # symmetrically, so the bcast stays collective.  A resize
+            # verdict rides the normal adaptation slot at the *end* of
+            # the protocol, exactly like a planned step, so nothing
+            # collective runs between the membership switch and the next
+            # safe point.
+            directive = self.steer.poll(count) if self.rank == 0 else None
+            directive = self.rankctx.comm.bcast(directive, root=0)
+            if directive is not None:
+                op, arg = directive
+                if op == "cancel":
+                    self.steer.raise_cancelled(count)  # raises, all ranks
+                if op == "resize" and arg != self.config.nranks:
+                    from dataclasses import replace as _replace
+
+                    steer_step = AdaptStep(
+                        at=count, config=_replace(self.config, nranks=arg))
         if self.policy.due(count):
             self.policy.mark_taken(count)
             self._take_checkpoint(count)
@@ -469,6 +553,8 @@ class ExecutionContext:
                                                self.config)
             if target is not None:
                 step = AdaptStep(at=count, config=target)
+        if step is None:
+            step = steer_step
         if step is not None and step.config != self.config:
             self._adapt(step, count)  # may raise AdaptationExit
             acted = True

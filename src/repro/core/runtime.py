@@ -107,7 +107,9 @@ class Runtime:
                  ckpt_compress_min_bytes: int | None = None,
                  ckpt_async: bool = False,
                  ckpt_async_depth: int = 2,
-                 registry=None) -> None:
+                 registry=None,
+                 store: CheckpointStore | None = None,
+                 ledger: RunLedger | None = None) -> None:
         self.machine = machine if machine is not None else MachineModel()
         if ckpt_dir is None:
             ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
@@ -116,20 +118,24 @@ class Runtime:
         # "adaptive" for the delta/full-ratio-driven policy), per-section
         # zlib compression, and an asynchronous double-buffered writer.
         # Defaults reproduce the paper's full synchronous snapshot at
-        # every checkpoint.
+        # every checkpoint.  An injected ``store``/``ledger`` (the
+        # service's per-job namespaced sub-stores) overrides all of the
+        # construction knobs above — the caller owns its configuration.
         if ckpt_anchor_every == "adaptive":
             ckpt_anchor_every = AdaptiveAnchor()
-        if ckpt_delta:
-            self.store: CheckpointStore = IncrementalCheckpointStore(
+        if store is not None:
+            self.store: CheckpointStore = store
+        elif ckpt_delta:
+            self.store = IncrementalCheckpointStore(
                 ckpt_dir, anchor=ckpt_anchor_every,
                 compress_min_bytes=ckpt_compress_min_bytes)
         else:
             self.store = CheckpointStore(
                 ckpt_dir, compress_min_bytes=ckpt_compress_min_bytes)
-        if ckpt_async:
+        if ckpt_async and store is None:
             self.store.attach_writer(AsyncCheckpointWriter(
                 depth=ckpt_async_depth))
-        self.ledger = RunLedger(ckpt_dir)
+        self.ledger = ledger if ledger is not None else RunLedger(ckpt_dir)
         self.policy = policy if policy is not None else Never()
         self.ckpt_strategy = ckpt_strategy
         self.log = log if log is not None else EventLog()

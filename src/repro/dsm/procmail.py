@@ -286,8 +286,9 @@ class ProcCommunicator(Communicator):
             # name grid in its launch ``finally`` regardless).
             from repro.dsm.shm import SymmetricHeap
 
-            self.plane.heap = SymmetricHeap(self.plane.pool.launch_id,
-                                            self._rank)
+            lid = (self.plane.heap_launch_id
+                   or self.plane.pool.launch_id)
+            self.plane.heap = SymmetricHeap(lid, self._rank)
         win = self.win_expose(
             name, self.plane.heap.alloc(name, shape, dtype))
         # implicit barrier, like shmem_malloc: afterwards every rank's

@@ -94,9 +94,19 @@ def _untrack(name: str) -> None:
         _live.discard(name)
 
 
-def new_launch_id() -> str:
-    """A name component unique to one phase launch of this process."""
-    return f"{os.getpid():x}-{next(_launch_seq):x}"
+def new_launch_id(ns: str = "") -> str:
+    """A name component unique to one phase launch of this process.
+
+    ``ns`` embeds a caller-chosen namespace (e.g. a service job id) in
+    the component, so the deterministic segment/slab/heap names of two
+    worlds constructed by one parent can never alias each other — the
+    pid+sequence pair alone already guarantees that within a process,
+    but the namespace keeps the grid disjoint *by construction* and
+    makes ``/dev/shm`` listings attributable to a job.
+    """
+    tag = "".join(c for c in ns if c.isalnum())[:16]
+    mid = f"{tag}-" if tag else ""
+    return f"{os.getpid():x}-{mid}{next(_launch_seq):x}"
 
 
 def segment_name(launch_id: str, field: str) -> str:
@@ -227,14 +237,19 @@ class SegmentManager:
         self._segments: dict[str, ShmSegment] = {}
 
     # ------------------------------------------------------------------
-    def allocate(self, field: str, shape: tuple, dtype) -> ShmSegment:
-        seg = ShmSegment.allocate(segment_name(self.launch_id, field),
+    def allocate(self, field: str, shape: tuple, dtype,
+                 name: str | None = None) -> ShmSegment:
+        """``name`` overrides the derived segment name — the service
+        arena leases pre-existing capacity-classed segments whose names
+        are arena-scoped, not launch-scoped."""
+        seg = ShmSegment.allocate(name or segment_name(self.launch_id, field),
                                   shape, dtype)
         self._segments[field] = seg
         return seg
 
-    def attach(self, field: str, shape: tuple, dtype) -> ShmSegment:
-        seg = ShmSegment.attach(segment_name(self.launch_id, field),
+    def attach(self, field: str, shape: tuple, dtype,
+               name: str | None = None) -> ShmSegment:
+        seg = ShmSegment.attach(name or segment_name(self.launch_id, field),
                                 shape, dtype)
         self._segments[field] = seg
         return seg
@@ -720,6 +735,12 @@ class DataPlane:
         #: the rank's symmetric heap, when the backend provisions one —
         #: communicators route heap-backed one-sided windows through it.
         self.heap = heap
+        #: overrides the name component of a lazily provisioned heap.
+        #: The service fleet keys one pool per *worker* (arena-scoped,
+        #: reused across jobs) but heaps are *rank*-addressed, so two
+        #: concurrent jobs sharing the arena launch id would collide on
+        #: ``heap_name`` — each job activation pins its own id here.
+        self.heap_launch_id: str | None = None
         #: id(array) -> (segment name, capacity, base view) of arrays a
         #: caller declared borrowable (direct path; see register_borrow).
         self._borrow: dict[int, tuple[str, int, np.ndarray]] = {}

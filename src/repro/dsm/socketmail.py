@@ -90,6 +90,33 @@ def _recv_exact(conn: socket.socket, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
+def send_framed(conn: socket.socket, obj) -> None:
+    """Pickle ``obj`` and write it as one length-prefixed frame.
+
+    The shared wire discipline of this module: the rank fabric, the
+    socket checkpoint funnel and the runtime-service client API all
+    speak ``>Q``-prefixed pickle frames, so any of them can be read
+    with :func:`recv_framed`.
+    """
+    import pickle
+
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def recv_framed(conn: socket.socket):
+    """Read one length-prefixed pickle frame; None on EOF/reset."""
+    import pickle
+
+    head = _recv_exact(conn, _LEN.size)
+    if head is None:
+        return None
+    blob = _recv_exact(conn, _LEN.unpack(head)[0])
+    if blob is None:
+        return None
+    return pickle.loads(blob)
+
+
 class SocketPeer:
     """Egress stub for a remote rank: ``put`` frames the envelope.
 

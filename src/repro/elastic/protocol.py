@@ -216,6 +216,12 @@ def refresh_new_members(ctx: "ExecutionContext", plan: ReshapePlan,
     are identical on every surviving member (SPMD lockstep), so member 0
     sends its copies to each joiner — the same field treatment as a
     distributed restore, with targeted sends instead of a broadcast.
+
+    Fields the backend gave a commit slab (``ctx.slab_whole``) skip the
+    sends entirely: member 0 commits its whole scratch into the shared
+    slab once and every joiner copies it out after one barrier — a
+    memcpy per side instead of a pickled payload per joiner, which is
+    most of a short job's elastic-activation latency.
     """
     if not plan.joining:
         return
@@ -225,12 +231,22 @@ def refresh_new_members(ctx: "ExecutionContext", plan: ReshapePlan,
     if not names:
         return
     me = ctx.rank
+    slab = [f for f in names if f in ctx.slab_whole]
+    wired = [f for f in names if f not in ctx.slab_whole]
+    if slab:
+        if me == 0:
+            for f in slab:
+                ctx.slab_whole[f][...] = getattr(ctx.instance, f)
+        comm.barrier()  # commits land before any joiner's read
+        if me in plan.joining:
+            for f in slab:
+                getattr(ctx.instance, f)[...] = ctx.slab_whole[f]
     if me == 0:
         for dst in plan.joining:
-            for f in names:
+            for f in wired:
                 comm.send(getattr(ctx.instance, f), dst, TAG_RESHAPE_STATE)
     elif me in plan.joining:
-        for f in names:
+        for f in wired:
             setattr(ctx.instance, f,
                     comm.recv(source=0, tag=TAG_RESHAPE_STATE))
 

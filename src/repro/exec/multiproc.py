@@ -167,7 +167,8 @@ class _ChildTask:
         return replace(self.spec, woven=plug(self.spec.woven, self.plugs))
 
 
-def _place_shared_fields(ctx, instance, comm, launch_id: str
+def _place_shared_fields(ctx, instance, comm, launch_id: str,
+                         names_of: dict | None = None
                          ) -> tuple[shm.SegmentManager, dict]:
     """Move every partitioned ndarray field into a shared segment.
 
@@ -175,41 +176,83 @@ def _place_shared_fields(ctx, instance, comm, launch_id: str
     array (the authoritative copy, matching scatter-from-root
     semantics); the metadata broadcast orders creation before any
     attach.  Every rank then rebinds the field to the shared view.
-    Returns the manager plus the ``{field: (shape, dtype)}`` metadata —
+    Returns the manager plus the ``{field: (shape, dtype, kind)}``
+    metadata (``kind`` is ``"shared"`` or ``"slab"``) —
     the reshape protocol ships the metadata to un-parked joiners, which
     attach the *same* segments (an elastic grow allocates nothing).
 
-    Fields declared ``whole_at_safepoints`` are deliberately left
-    private: that declaration means every member re-assembles and then
+    Fields declared ``whole_at_safepoints`` cannot alias one segment
+    directly: that declaration means every member re-assembles and then
     computes over the *whole* array each step (replicated whole-array
-    writes), which would race on aliased pages.  Only fields whose
-    writes stay inside the owner's partition (the ``ForMethod`` /
-    scatter / halo discipline) are safe to alias.
+    writes), which would race on aliased pages.  They get a **commit
+    slab** instead (``kind == "slab"`` in the metadata): the instance
+    keeps its private scratch array, and a shared whole-size segment
+    carries the committed state — gather/allgather write only each
+    owner's region into it and read the assembled whole back
+    (:meth:`~repro.core.context.ExecutionContext._slab_sync`), so the
+    root-funnelled payload bytes and the root->joiner refresh sends on
+    reshape both disappear.
     """
     manager = shm.SegmentManager(launch_id)
     rank = ctx.rank
     fields = sorted(f for f, part in ctx.partitioned.items()
                     if not part.whole_at_safepoints)
+    slabs = sorted(f for f, part in ctx.partitioned.items()
+                   if part.whole_at_safepoints)
     if rank == 0:
         meta = {}
+        names = names_of or {}
         for f in fields:
             arr = getattr(instance, f, None)
             if not isinstance(arr, np.ndarray):
                 continue
-            seg = manager.allocate(f, arr.shape, arr.dtype)
+            seg = _open_segment(manager, f, arr.shape, arr.dtype,
+                                names.get(f))
             view = seg.ndarray()
             view[...] = arr
             setattr(instance, f, view)
-            meta[f] = (arr.shape, arr.dtype.str)
+            meta[f] = (arr.shape, arr.dtype.str, "shared", names.get(f))
+        for f in slabs:
+            arr = getattr(instance, f, None)
+            if not isinstance(arr, np.ndarray):
+                continue
+            seg = _open_segment(manager, f, arr.shape, arr.dtype,
+                                names.get(f))
+            # seed the committed baseline (every rank's constructor
+            # builds the same array; the scatter-from-root convention
+            # makes rank 0's copy the authoritative one).
+            seg.ndarray()[...] = arr
+            meta[f] = (arr.shape, arr.dtype.str, "slab", names.get(f))
         if ctx.nranks > 1:
             comm.bcast(meta, root=0)
     else:
         meta = comm.bcast(None, root=0)
-        for f, (shape, dtype) in meta.items():
-            seg = manager.attach(f, shape, dtype)
-            setattr(instance, f, seg.ndarray())
-    ctx.shared_fields = set(meta)
+        for f, (shape, dtype, kind, name) in meta.items():
+            seg = manager.attach(f, shape, dtype, name=name)
+            if kind == "shared":
+                setattr(instance, f, seg.ndarray())
+    _index_segments(ctx, manager, meta)
     return manager, meta
+
+
+def _open_segment(manager: shm.SegmentManager, f: str, shape, dtype,
+                  name: str | None) -> shm.ShmSegment:
+    """Allocate a launch-named segment, or attach an arena-leased one.
+
+    An explicit ``name`` means the parent's arena already created the
+    segment (capacity-classed, reused across service jobs) — rank 0
+    attaches and seeds it instead of allocating.
+    """
+    if name is None:
+        return manager.allocate(f, shape, dtype)
+    return manager.attach(f, shape, dtype, name=name)
+
+
+def _index_segments(ctx, manager: shm.SegmentManager, meta: dict) -> None:
+    """Point the context at the placed segments, by kind."""
+    ctx.shared_fields = {f for f, m in meta.items() if m[2] == "shared"}
+    ctx.slab_whole = {f: manager.get(f).ndarray()
+                      for f, m in meta.items() if m[2] == "slab"}
 
 
 def _attach_shared_fields(ctx, instance, meta: dict, launch_id: str
@@ -221,10 +264,11 @@ def _attach_shared_fields(ctx, instance, meta: dict, launch_id: str
     the pre-sized-symmetric-heap half of the elastic design.
     """
     manager = shm.SegmentManager(launch_id)
-    for f, (shape, dtype) in meta.items():
-        seg = manager.attach(f, shape, dtype)
-        setattr(instance, f, seg.ndarray())
-    ctx.shared_fields = set(meta)
+    for f, (shape, dtype, kind, name) in meta.items():
+        seg = manager.attach(f, shape, dtype, name=name)
+        if kind == "shared":
+            setattr(instance, f, seg.ndarray())
+    _index_segments(ctx, manager, meta)
     return manager
 
 
@@ -245,7 +289,7 @@ class ProcessReshaper(RankReshaper):
         self.comm = comm
         self.machine = machine
         self.rank = rank
-        #: {field: (shape, dtype)} of the launch's shared segments;
+        #: {field: (shape, dtype, kind)} of the launch's segments;
         #: filled in once fields are placed/attached.
         self.segment_meta: dict = {}
 
@@ -376,10 +420,12 @@ def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
         status, data = _ADAPTED, (ae.snapshot, ae.new_config)
     except InjectedFailure as fail:
         status, data = _FAILED, (fail.safepoint, fail.rank)
-    except BaseException:  # noqa: BLE001 - shipped to the parent verbatim
-        status, data = _ERROR, traceback.format_exc()
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        status, data = task.backend.classify_unwind_report(exc)
     finally:
         _bind(None)
+        if ctx is not None:
+            ctx.slab_whole = {}
         if manager is not None:
             # release the views so the mappings can close; the instance
             # is dead after this line on every path.
@@ -393,7 +439,10 @@ def _run_rank_segment(rank: int, task: _ChildTask, log: EventLog,
     return status, data, clock.now, records
 
 
-def _rank_main(rank: int, task: _ChildTask) -> None:
+def _rank_main(rank: int, task: _ChildTask,
+               plane: shm.DataPlane | None = None,
+               repark: bool = True,
+               parked: bool | None = None) -> str:
     """One rank's life: active segments interleaved with parked waits.
 
     Ranks below the launch configuration's count start active; the
@@ -401,19 +450,31 @@ def _rank_main(rank: int, task: _ChildTask) -> None:
     channel.  A segment that ends in retirement re-parks — its events
     ship to the parent immediately so no timeline is lost — and a later
     un-park starts the next segment.  Any terminal segment end posts the
-    one final report and exits.
+    one final report and exits.  Returns how the rank left the phase
+    (``"done"`` reported, ``"retired"`` left the membership with
+    ``repark=False``, ``"stopped"`` released from park) — process
+    entry points ignore it; the service fleet's worker loop keys its
+    idle bookkeeping on it.
 
     The rank's slab pool (its half of the zero-copy data plane) belongs
     to the *process*, not the membership: it is built once here and
     survives park / un-park cycles, so an elastic reshape neither leaks
     nor re-creates slabs.  The parent unlinks the deterministic slab
-    name grid in its launch ``finally`` either way.
+    name grid in its launch ``finally`` either way.  A caller that
+    passes an existing ``plane`` owns its lifetime (the warm fleet
+    keeps one per worker process across jobs); ``repark=False`` makes
+    retirement *return* instead of parking in-phase, handing the
+    process back to that caller.
     """
-    parked = rank >= task.spec.config.nranks
+    if parked is None:
+        # the launch path: ranks beyond the launch shape park.  The
+        # service fleet overrides this — a worker parked for a regrown
+        # rank may carry a rank index *below* the original shape.
+        parked = rank >= task.spec.config.nranks
     join_payload: dict | None = None
     log = EventLog()
-    plane: shm.DataPlane | None = None
-    if task.backend.data_plane:
+    own_plane = plane is None
+    if own_plane and task.backend.data_plane:
         plane = shm.DataPlane(
             shm.BufferPool(task.launch_id, rank),
             threshold=task.backend.plane_threshold)
@@ -422,7 +483,7 @@ def _rank_main(rank: int, task: _ChildTask) -> None:
             if parked:
                 ctrl = _wait_for_control(task.channels[rank])
                 if ctrl is None or ctrl["kind"] == "stop":
-                    return  # phase over; parked ranks exit, no report
+                    return "stopped"  # phase over; parked ranks exit silent
                 join_payload = ctrl
                 parked = False
             status, data, end_vtime, records = _run_rank_segment(
@@ -430,6 +491,8 @@ def _rank_main(rank: int, task: _ChildTask) -> None:
             if status == _RETIRED:
                 task.notify_queue.put(("events", rank, list(log)))
                 log = EventLog()
+                if not repark:
+                    return "retired"
                 parked, join_payload = True, None
                 continue
             # NB: the communicator is deliberately NOT closed here.  Exit
@@ -441,9 +504,9 @@ def _rank_main(rank: int, task: _ChildTask) -> None:
             # exit cannot block.
             task.result_queue.put(
                 (rank, status, data, end_vtime, list(log), records))
-            return
+            return "done"
     finally:
-        if plane is not None:
+        if own_plane and plane is not None:
             plane.close()
 
 
@@ -514,6 +577,13 @@ class MultiprocessBackend(ExecutionBackend):
         communicator over a hybrid queue/TCP fabric here)."""
         return ProcCommunicator(rank, nranks, machine, task.channels,
                                 plane=plane, mail_epoch=mail_epoch)
+
+    def classify_unwind_report(self, exc: BaseException) -> tuple[str, object]:
+        """Turn a worker-side unwind that is not one of the built-in
+        cooperative signals into a ``(status, data)`` report pair.  The
+        base backend knows only wreckage; the service fleet adds its
+        cooperative job-cancellation signal here."""
+        return _ERROR, traceback.format_exc()
 
     def place_fields(self, ctx, instance, comm, launch_id: str
                      ) -> tuple[shm.SegmentManager | None, dict]:
@@ -629,6 +699,7 @@ class MultiprocessBackend(ExecutionBackend):
                     note = notify_queue.get_nowait()
                     if note[0] == "reshape":
                         active = set(range(note[3]))
+                        self._on_reshape(note)
                     elif note[0] == "events":
                         stray_events.extend(note[2])
             except _queue.Empty:
@@ -696,6 +767,14 @@ class MultiprocessBackend(ExecutionBackend):
                                       None, [], [])
                 break
         return reports, stray_events, active
+
+    def _on_reshape(self, note: tuple) -> None:
+        """Membership-change hook: called from report collection on each
+        ``("reshape", count, old_n, new_n)`` notification rank 0 posts
+        before a membership switch.  The base backend pre-parks its
+        whole fabric at launch so nothing is needed; the service fleet
+        overrides this to park idle workers on the lanes a grow is
+        about to un-park."""
 
     @staticmethod
     def _final_membership(reports: dict, n0: int) -> int:

@@ -1,0 +1,439 @@
+"""The warm worker fleet: pre-forked rank processes, reused across jobs.
+
+One fork per worker for the *fleet's* lifetime, not one per rank per
+job.  Between jobs a worker blocks on its control channel — the same
+park the elastic membership protocol uses for surplus ranks — and a job
+activation is a control message, not a fork: the worker rebuilds the
+woven class from the ticket, maps the leased segments, and runs
+:func:`repro.exec.multiproc._rank_main` exactly as a cold launch would.
+Everything expensive is process-scoped and survives jobs:
+
+* the worker's :class:`~repro.dsm.shm.BufferPool` slab ring and
+  :class:`~repro.dsm.shm.DataPlane` (fleet-scoped names) — collective
+  payloads and packed snapshots of *every* job ride the same slabs;
+* the mailbox fabrics: each of the fleet's ``lanes`` (concurrent job
+  slots) owns a fleet-wide rank-channel fabric plus result/notify
+  queues, created once and drained between jobs;
+* the checkpoint funnel: one drain thread for all jobs
+  (:class:`~repro.service.funnel.FleetFunnel`), routing each write to
+  the owning job's namespaced store.
+
+Per-job state is narrow by construction: a launch id (field segments
+when the arena is off, symmetric heaps always), a steer block serial,
+and the job ticket itself.  Workers report back on a fleet-wide event
+queue (``("joined", ...)`` on ticket pickup, ``("idle", ...)`` on
+return), which is what the fleet's lease/await bookkeeping runs on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.ckpt.funnel import FunnelStore
+from repro.dsm import shm
+from repro.exec.base import PhaseServices, PhaseSpec
+from repro.exec.multiproc import (
+    MultiprocessBackend,
+    _ChildTask,
+    _place_shared_fields,
+    _portable_woven,
+    _preferred_start_method,
+    _rank_main,
+    _wait_for_control,
+)
+from repro.service.arena import SegmentArena
+from repro.service.funnel import FleetFunnel
+from repro.service.steer import JobCancelled, SteerBlock, SteerClient, steer_name
+from repro.util.events import EventLog
+
+#: worker report status for a steering cancel (extends the base set).
+CANCELLED = "cancelled"
+
+
+@dataclass
+class JobTicket:
+    """Everything a worker needs to serve one rank of one job.
+
+    Travels through a control queue, so everything here is pickled:
+    the woven class ships portable (base + plug set, re-woven in the
+    worker) and no queue rides along — the worker already holds the
+    fleet's queues from its fork.
+    """
+
+    job: str
+    lane: int
+    launch_id: str
+    spec: PhaseSpec            # woven replaced by its portable base
+    plugs: object | None
+    machine: object
+    policy: object
+    ckpt_strategy: str
+    backend: "_FleetWorkerBackend"
+    max_ranks: int
+    funnel_async: bool
+    funnel_depth: int
+
+
+class _FleetWorkerBackend(MultiprocessBackend):
+    """The worker-side backend a fleet job runs under.
+
+    Picklable by construction (no queues, no fleet reference): it adds
+    the three service behaviours to the stock multiprocess worker —
+    steering (a :class:`SteerClient` on every context), arena field
+    placement (rank 0 leases capacity-classed segments over the funnel
+    instead of allocating), and the cancel unwind classification.
+    """
+
+    name = "fleet-worker"
+
+    def __init__(self, steer_block: str | None, use_arena: bool,
+                 data_plane: bool, plane_threshold: int | None,
+                 start_method: str) -> None:
+        super().__init__(start_method=start_method, data_plane=data_plane,
+                         plane_threshold=plane_threshold)
+        self.steer_block = steer_block
+        self.use_arena = use_arena
+
+    def make_context(self, spec, services, rankctx=None, team=None,
+                     reshaper=None):
+        ctx = super().make_context(spec, services, rankctx=rankctx,
+                                   team=team, reshaper=reshaper)
+        if self.steer_block is not None:
+            ctx.steer = SteerClient(self.steer_block)
+        return ctx
+
+    def place_fields(self, ctx, instance, comm, launch_id: str):
+        names = None
+        if self.use_arena and ctx.rank == 0:
+            specs = []
+            for f in sorted(ctx.partitioned):
+                arr = getattr(instance, f, None)
+                if isinstance(arr, np.ndarray):
+                    specs.append((f, arr.shape, arr.dtype.str))
+            # rank 0 alone knows the field shapes (it builds the
+            # instance first), so the arena lease is its RPC to make.
+            names, _ = ctx.store._rpc("arena", specs)
+        return _place_shared_fields(ctx, instance, comm, launch_id,
+                                    names_of=names)
+
+    def classify_unwind_report(self, exc: BaseException):
+        if isinstance(exc, JobCancelled):
+            return CANCELLED, exc.count
+        return super().classify_unwind_report(exc)
+
+
+@dataclass
+class _WorkerBoot:
+    """One worker's share of the fleet plumbing (Process ctor args —
+    queues are picklable there, unlike through other queues)."""
+
+    fleet_id: str
+    wid: int
+    control: object
+    lanes: list          # lanes[lane][rank] -> channel
+    results: list        # lanes' result queues
+    notifies: list       # lanes' notify queues
+    events: object       # fleet-wide worker lifecycle events
+    requests: object     # fleet funnel requests
+    ack: object          # this worker's funnel ack queue
+    data_plane: bool
+    plane_threshold: int | None
+
+
+def _worker_main(boot: _WorkerBoot) -> None:
+    """A fleet worker's life: park on control, serve a rank, repeat.
+
+    ``activate`` runs rank ``msg["rank"]`` of the ticket's job;
+    ``park`` blocks on the job's lane channel instead, waiting for the
+    un-park message a growing membership's rank 0 posts (the elastic
+    joiner path, with the fleet standing in for the pre-forked surplus).
+    Either way the segment runs with ``repark=False``: a retiring rank
+    returns here — to the *fleet's* pool — rather than parking inside
+    the job.
+    """
+    plane: shm.DataPlane | None = None
+    if boot.data_plane:
+        plane = shm.DataPlane(shm.BufferPool(boot.fleet_id, boot.wid),
+                              threshold=boot.plane_threshold)
+    try:
+        while True:
+            msg = _wait_for_control(boot.control)
+            kind = msg.get("kind")
+            if kind == "stop":
+                return
+            if kind not in ("activate", "park"):
+                continue
+            t: JobTicket = msg["ticket"]
+            rank: int = msg["rank"]
+            boot.events.put(("joined", boot.wid, t.job, rank))
+            how = "error"
+            try:
+                store = FunnelStore(
+                    rank=(t.job, boot.wid), requests=boot.requests,
+                    ack=boot.ack, is_async=t.funnel_async,
+                    depth=t.funnel_depth)
+                services = PhaseServices(
+                    machine=t.machine, log=EventLog(), store=None,
+                    policy=t.policy, ckpt_strategy=t.ckpt_strategy,
+                    advisor=None)
+                task = _ChildTask(
+                    rank, t.spec, services, t.backend,
+                    boot.lanes[t.lane], boot.results[t.lane],
+                    boot.notifies[t.lane], store, t.launch_id,
+                    t.max_ranks)
+                if t.plugs is not None:
+                    # the ticket pre-portabled the spec; restore the
+                    # plug set so the worker re-weaves.
+                    task.plugs = t.plugs
+                if plane is not None:
+                    # symmetric heaps are the one per-job plane piece:
+                    # window allocations must not collide across jobs.
+                    plane.heap_launch_id = t.launch_id
+                how = _rank_main(rank, task, plane=plane, repark=False,
+                                 parked=(kind == "park"))
+            except BaseException:  # noqa: BLE001 - the worker survives;
+                how = "error"      # the parent times the rank out
+            finally:
+                if plane is not None:
+                    if plane.heap is not None:
+                        plane.heap.close()
+                        plane.heap = None
+                    plane.heap_launch_id = None
+                boot.events.put(("idle", boot.wid, t.job, how))
+    finally:
+        if plane is not None:
+            plane.close()
+
+
+class WorkerFleet:
+    """Parent side: the pool of warm workers and its lease bookkeeping.
+
+    ``workers`` processes serve up to ``lanes`` concurrent jobs; a job
+    of ``n`` ranks leases ``n`` workers and a lane.  Thread-safe — the
+    scheduler, per-job service threads and the event pump all touch the
+    lease state under one condition variable.
+    """
+
+    proc_prefix = "fleet-w"
+
+    def __init__(self, workers: int = 4, lanes: int = 1,
+                 data_plane: bool = True, plane_threshold: int | None = None,
+                 start_method: str | None = None, arena: bool = True) -> None:
+        self.workers = workers
+        self.lanes = lanes
+        self.data_plane = data_plane
+        self.plane_threshold = plane_threshold
+        self.start_method = start_method or _preferred_start_method()
+        self.fleet_id = shm.new_launch_id("fleet")
+        self.mpctx = mp.get_context(self.start_method)
+        self.control = [self.mpctx.Queue() for _ in range(workers)]
+        self.data = [[self.mpctx.Queue() for _ in range(workers)]
+                     for _ in range(lanes)]
+        self.results = [self.mpctx.Queue() for _ in range(lanes)]
+        self.notifies = [self.mpctx.Queue() for _ in range(lanes)]
+        self.events = self.mpctx.Queue()
+        self.arena: SegmentArena | None = \
+            SegmentArena(self.fleet_id) if arena else None
+        self.funnel = FleetFunnel(self.mpctx, workers, self.arena)
+        self.steer = [SteerBlock(steer_name(self.fleet_id, lane))
+                      for lane in range(lanes)]
+        self.procs: list = [None] * workers
+        self._cv = threading.Condition()
+        self._idle: set[int] = set()
+        self._busy: dict[int, str] = {}
+        self._stopping = False
+        self._pump_thread: threading.Thread | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerFleet":
+        if self._started:
+            return self
+        for w in range(self.workers):
+            self._spawn(w)
+        self.funnel.start()
+        self._pump_thread = threading.Thread(target=self._pump, daemon=True,
+                                             name="fleet-events")
+        self._pump_thread.start()
+        with self._cv:
+            self._idle = set(range(self.workers))
+        self._started = True
+        return self
+
+    def _spawn(self, wid: int) -> None:
+        boot = _WorkerBoot(
+            fleet_id=self.fleet_id, wid=wid, control=self.control[wid],
+            lanes=self.data, results=self.results, notifies=self.notifies,
+            events=self.events, requests=self.funnel.requests,
+            ack=self.funnel.acks[wid], data_plane=self.data_plane,
+            plane_threshold=self.plane_threshold)
+        p = self.mpctx.Process(target=_worker_main, args=(boot,),
+                               daemon=True,
+                               name=f"{self.proc_prefix}{wid}")
+        self.procs[wid] = p
+        p.start()
+
+    def _pump(self) -> None:
+        import queue as _queue
+
+        while not self._stopping:
+            try:
+                ev = self.events.get(timeout=0.25)
+            except _queue.Empty:
+                continue
+            except (OSError, ValueError):
+                return
+            if ev[0] == "idle":
+                with self._cv:
+                    self._busy.pop(ev[1], None)
+                    self._idle.add(ev[1])
+                    self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    def idle_count(self) -> int:
+        with self._cv:
+            return len(self._idle)
+
+    def job_of(self, wid: int) -> str | None:
+        with self._cv:
+            return self._busy.get(wid)
+
+    def lease(self, n: int, job: str, timeout: float = 30.0
+              ) -> list[int] | None:
+        """Claim ``n`` idle workers for ``job`` (None if the fleet cannot
+        supply them within ``timeout``)."""
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while len(self._idle) < n:
+                left = deadline - time.monotonic()
+                if left <= 0:
+                    return None
+                self._cv.wait(left)
+            wids = sorted(self._idle)[:n]
+            for w in wids:
+                self._idle.discard(w)
+                self._busy[w] = job
+            return wids
+
+    def activate(self, wid: int, ticket: JobTicket, rank: int) -> None:
+        self.control[wid].put({"kind": "activate", "ticket": ticket,
+                               "rank": rank})
+
+    def park(self, wid: int, ticket: JobTicket, rank: int) -> None:
+        """Park a leased worker on the job's lane channel as rank
+        ``rank`` — it consumes the un-park message a growing membership
+        posts there and joins via entry replay."""
+        self.control[wid].put({"kind": "park", "ticket": ticket,
+                               "rank": rank})
+
+    def await_idle(self, wids: set[int], timeout: float,
+                   drain=None) -> list[int]:
+        """Wait until every worker in ``wids`` is back in the pool;
+        returns the stragglers.  ``drain`` (optional callable) runs each
+        poll round to keep lane pipes moving while workers flush."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if drain is not None:
+                drain()
+            with self._cv:
+                missing = [w for w in wids if w not in self._idle]
+                if not missing:
+                    return []
+                left = deadline - time.monotonic()
+                if left <= 0:
+                    return missing
+                self._cv.wait(min(left, 0.2))
+
+    def respawn(self, wid: int) -> None:
+        """Replace a wedged worker (terminated mid-job or unresponsive).
+
+        The replacement re-creates the worker's slab ring, so the old
+        one's fleet-scoped names are unlinked first.
+        """
+        p = self.procs[wid]
+        if p is not None:
+            if p.is_alive():
+                p.terminate()
+            p.join(timeout=5.0)
+            try:
+                p.close()
+            except ValueError:
+                pass
+        for s in range(shm.POOL_SLOTS):
+            shm.unlink_by_name(shm.pool_slab_name(self.fleet_id, wid, s))
+        MultiprocessBackend._drain([self.control[wid]])
+        self._spawn(wid)
+        with self._cv:
+            self._busy.pop(wid, None)
+            self._idle.add(wid)
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    def make_ticket(self, job: str, lane: int, launch_id: str,
+                    spec: PhaseSpec, services: PhaseServices,
+                    store) -> JobTicket:
+        base, plugs = _portable_woven(spec.woven)
+        if plugs is not None:
+            spec = replace(spec, woven=base)
+        wbackend = _FleetWorkerBackend(
+            steer_block=self.steer[lane].name,
+            use_arena=self.arena is not None,
+            data_plane=self.data_plane,
+            plane_threshold=self.plane_threshold,
+            start_method=self.start_method)
+        return JobTicket(
+            job=job, lane=lane, launch_id=launch_id, spec=spec,
+            plugs=plugs, machine=services.machine, policy=services.policy,
+            ckpt_strategy=services.ckpt_strategy, backend=wbackend,
+            max_ranks=self.workers, funnel_async=store.is_async,
+            funnel_depth=store.writer.depth if store.is_async else 0)
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Drain the fleet: stop workers, funnel, queues; unlink every
+        fleet-scoped shared-memory name."""
+        if not self._started:
+            return
+        self._stopping = True
+        for w in range(self.workers):
+            try:
+                self.control[w].put({"kind": "stop"})
+            except (OSError, ValueError):
+                pass
+        for p in self.procs:
+            if p is not None and p.pid is not None:
+                p.join(timeout=10.0)
+        for p in self.procs:
+            if p is not None and p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for p in self.procs:
+            if p is not None:
+                try:
+                    p.close()
+                except ValueError:
+                    pass
+        self.funnel.stop()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=5.0)
+        flat = (self.control + [q for lane in self.data for q in lane]
+                + self.results + self.notifies + [self.events])
+        MultiprocessBackend._drain(flat, close=True)
+        for blk in self.steer:
+            blk.close()
+            blk.unlink()
+        if self.arena is not None:
+            self.arena.unlink_all()
+        shm.unlink_pool(self.fleet_id, self.workers)
+        self._started = False
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
