@@ -43,6 +43,7 @@ from repro.dsm.partition import (
     scatter_inplace,
 )
 from repro.dsm.procmail import ProcCommunicator
+from repro.telemetry import MetricsRegistry, TelemetryPlane, bind
 from repro.vtime.clock import VClock
 from repro.vtime.machine import MachineModel
 
@@ -64,8 +65,13 @@ MACHINE = MachineModel(nodes=1, cores_per_node=8)
 
 
 def _movement_worker(rank, nranks, channels, launch_id, transport,
-                     out_queue):
+                     out_queue, telemetry=False):
     """One rank of the scatter/halo/gather loop; reports wall + vtime.
+
+    ``telemetry`` binds a live metrics writer on this rank's hot paths
+    (data-plane tiers, pool leases, mailbox waits) exactly as a
+    telemetry-enabled launch does; the scraped snapshot rides home in
+    the report so the parent can aggregate and assert on it.
 
     ``transport``: ``"queue"`` pickles every payload through the pipes,
     ``"slab"`` moves large arrays through pooled slabs, ``"direct"``
@@ -80,6 +86,10 @@ def _movement_worker(rank, nranks, channels, launch_id, transport,
     plane = None
     if transport != "queue":
         plane = shm.DataPlane(shm.BufferPool(launch_id, rank))
+    tplane = None
+    if telemetry:
+        tplane = TelemetryPlane.local(nranks, backend="bench")
+        bind(tplane.writer(rank))
     comm = ProcCommunicator(rank, nranks, MACHINE, channels, plane=plane)
     clock = VClock()
     _bind(RankContext(rank=rank, nranks=nranks, clock=clock, comm=comm))
@@ -110,10 +120,18 @@ def _movement_worker(rank, nranks, channels, launch_id, transport,
         comm.barrier()
         wall = time.perf_counter() - t0
         checksum = float(arr.sum()) if rank == 0 else 0.0
+        snap = None
+        if tplane is not None:
+            reg = MetricsRegistry()
+            reg.absorb(tplane.scrape())
+            snap = reg.snapshot()
         out_queue.put((rank, wall, clock.now, checksum,
-                       plane.stats() if plane else None))
+                       plane.stats() if plane else None, snap))
     finally:
         _bind(None)
+        if tplane is not None:
+            bind(None)
+            tplane.close()
         if plane is not None:
             plane.close()
         if seg is not None:
@@ -144,7 +162,7 @@ def _ckpt_worker(rank, nranks, store_client, launch_id, use_plane,
             plane.close()
 
 
-def _launch(target, nranks, transport, store=None):
+def _launch(target, nranks, transport, store=None, telemetry=False):
     """Fork ``nranks`` workers, collect their reports, sweep the slabs."""
     ctx = mp.get_context("fork")
     launch_id = shm.new_launch_id()
@@ -161,7 +179,7 @@ def _launch(target, nranks, transport, store=None):
                         transport != "queue", out_queue)
             else:
                 args = (r, nranks, channels, launch_id, transport,
-                        out_queue)
+                        out_queue, telemetry)
             p = ctx.Process(target=target, args=args, daemon=True)
             procs.append(p)
             p.start()
@@ -258,6 +276,66 @@ def test_comm_plane(benchmark, tmp_path):
     assert s_wall < 1.3 * q_wall, (
         f"checkpoint collection regressed over the plane: {s_wall:.3f}s "
         f"vs {q_wall:.3f}s queue")
+
+
+# ---------------------------------------------------------------------------
+# telemetry overhead: bound metrics writers on the same hot paths
+# ---------------------------------------------------------------------------
+#: repetitions per arm — min-of-N filters scheduler noise out of a
+#: single-digit-percent assertion.
+TELE_REPS = 3
+
+
+def test_telemetry_overhead(benchmark):
+    """The metrics plane must be invisible in the data it produces and
+    nearly invisible in the wall clock: the slab-transport movement
+    workload with writers bound on every hot path (tier counters, pool
+    leases, mailbox waits) stays within 3% of the unbound run, and the
+    checksums agree bit-exactly — telemetry is wall-side only."""
+    report = FigureReport(
+        "Telemetry overhead",
+        "Movement workload (slab transport) with metrics writers bound "
+        f"vs unbound: min-of-{TELE_REPS} wall seconds for {ROUNDS} "
+        f"rounds of scatter+halo+gather over a {ROWS}x{COLS} float64 "
+        "field at 4 ranks",
+        ["ranks", "off_s", "on_s", "on/off"])
+
+    def experiment():
+        def arm(flag):
+            walls, reps = [], None
+            for _ in range(TELE_REPS):
+                reps = _launch(_movement_worker, 4, "slab",
+                               telemetry=flag)
+                walls.append(max(r[1] for r in reps))
+            return min(walls), reps
+        off, off_reps = arm(False)
+        on, on_reps = arm(True)
+        # bit-identical results and virtual time, telemetry on or off
+        assert on_reps[0][3] == off_reps[0][3], \
+            "telemetry changed the data"
+        assert on_reps[0][2] == pytest.approx(off_reps[0][2]), \
+            "telemetry changed virtual time"
+        reg = MetricsRegistry()
+        for r in on_reps:
+            if r[5] is not None:
+                reg.absorb_snapshot(r[5])
+        # the writers were live: the plane counted real traffic
+        assert reg.value("repro_dsm_send_msgs_total",
+                         {"tier": "slab"}) > 0, "slab tier never counted"
+        assert reg.value("repro_dsm_pool_leases_total") > 0
+        assert reg.value("repro_dsm_mailbox_recvs_total") > 0
+        return off, on, reg
+
+    off, on, reg = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report.add(4, off, on, on / off)
+    report.emit(benchmark, json_name="telemetry_overhead",
+                extra={"overhead_ratio": on / off}, metrics=reg)
+    _no_leaks()
+    # the acceptance bar: <= 3% wall overhead (plus a fixed headroom so
+    # a loaded runner's jitter on sub-second walls cannot flake it).
+    assert on <= off * 1.03 + 0.05, (
+        f"telemetry overhead {on / off:.3f}x exceeds 3% "
+        f"({on:.3f}s on vs {off:.3f}s off)")
 
 
 # ---------------------------------------------------------------------------

@@ -46,27 +46,35 @@ class FigureReport:
         return "\n".join(lines)
 
     def emit(self, benchmark=None, json_name: str | None = None,
-             extra: dict | None = None) -> None:
+             extra: dict | None = None, metrics=None) -> None:
         text = self.render()
         print("\n" + text)
         RESULTS_DIR.mkdir(exist_ok=True)
         out = RESULTS_DIR / f"{self.figure.lower().replace(' ', '_')}.txt"
         out.write_text(text + os.linesep)
         if json_name is not None:
-            self.emit_json(json_name, extra)
+            self.emit_json(json_name, extra, metrics=metrics)
         if benchmark is not None:
             benchmark.extra_info["figure"] = self.figure
             benchmark.extra_info["columns"] = self.columns
             benchmark.extra_info["rows"] = [
                 [_fmt(v) for v in r] for r in self.rows]
 
-    def emit_json(self, name: str, extra: dict | None = None) -> Path:
+    def emit_json(self, name: str, extra: dict | None = None,
+                  metrics=None) -> Path:
         """Write the series machine-readable: ``BENCH_<name>.json``.
 
         The rows land raw (unformatted values, NaN encoded as ``null``)
         under the same column names the table prints, plus whatever
         headline metrics the benchmark passes in ``extra`` — so a plot
         script or a CI trend tracker never parses the text table.
+
+        ``metrics`` embeds a telemetry snapshot under the ``"metrics"``
+        key: pass a :class:`~repro.telemetry.MetricsRegistry` or an
+        already-serialized ``registry.snapshot()`` dict.  The embedded
+        section uses the same ``repro_<subsystem>_<metric>{rank=,
+        backend=,job=}`` naming as the Prometheus exposition and the
+        service ``stats`` RPC — one vocabulary across every surface.
         """
         RESULTS_DIR.mkdir(exist_ok=True)
         doc = {
@@ -78,6 +86,9 @@ class FigureReport:
         }
         if extra:
             doc["extra"] = {k: _jsonable(v) for k, v in extra.items()}
+        if metrics is not None:
+            snap = getattr(metrics, "snapshot", None)
+            doc["metrics"] = snap() if callable(snap) else metrics
         out = RESULTS_DIR / f"BENCH_{name}.json"
         out.write_text(json.dumps(doc, indent=2) + os.linesep)
         return out

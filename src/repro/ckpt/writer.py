@@ -31,6 +31,7 @@ import queue
 import tempfile
 import threading
 from pathlib import Path
+from time import perf_counter
 
 
 def atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -90,6 +91,10 @@ class AsyncCheckpointWriter:
         self.bytes_submitted = 0
         #: total files the worker has durably written.
         self.writes_completed = 0
+        #: wall seconds the worker spent inside disk writes — the
+        #: overlap the async design buys (scraped into the registry as
+        #: ``repro_ckpt_writer_busy_seconds_total`` at run end).
+        self.busy_seconds = 0.0
 
     # ------------------------------------------------------------------
     def _ensure_thread(self) -> None:
@@ -153,7 +158,9 @@ class AsyncCheckpointWriter:
                     return
                 path, data = item
                 try:
+                    t0 = perf_counter()
                     atomic_write_bytes(path, data)
+                    self.busy_seconds += perf_counter() - t0
                     self.writes_completed += 1
                 except BaseException as exc:
                     with self._lock:

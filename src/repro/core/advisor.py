@@ -50,7 +50,8 @@ class SelfAdaptationAdvisor:
 
     def __init__(self, machine: MachineModel, max_pe: int | None = None,
                  window: int = 5, tolerance: float = 0.05,
-                 registry=None, transition_aware: bool = False) -> None:
+                 registry=None, transition_aware: bool = False,
+                 measured=None) -> None:
         from repro.exec.registry import default_registry
 
         if window < 2:
@@ -68,6 +69,11 @@ class SelfAdaptationAdvisor:
         #: relaunches (fork-class spawn costs) are priced honestly while
         #: elastic in-place reshapes stay cheap.
         self.transition_aware = transition_aware
+        #: a :class:`~repro.telemetry.measured.MeasuredRates` view over
+        #: the run's metrics registry, or ``None`` for calibration-only
+        #: ranking (the cold-start default; results are then identical
+        #: to the pre-telemetry advisor).
+        self.measured_rates = measured
         self.max_pe = max_pe if max_pe is not None else machine.total_cores
         self.registry = registry if registry is not None else default_registry()
         self.ladder = self._build_ladder()
@@ -89,6 +95,11 @@ class SelfAdaptationAdvisor:
         self.registry = registry
         self.ladder = self._build_ladder()
 
+    def use_measured(self, measured) -> None:
+        """Adopt a live measured-rates view (the runtime wires the
+        telemetry registry's view in when telemetry is enabled)."""
+        self.measured_rates = measured
+
     # ------------------------------------------------------------------
     def _build_ladder(self) -> list[ExecConfig]:
         """Candidate configurations in increasing parallelism, restricted
@@ -109,6 +120,46 @@ class SelfAdaptationAdvisor:
     # ------------------------------------------------------------------
     # transition ranking (per-backend calibrated cost model)
     # ------------------------------------------------------------------
+    def _quiesce_cost(self, m: MachineModel, pe: int) -> float:
+        """The barrier (quiesce) term of an in-place reshape: the
+        calibrated prior, blended with the measured mean safe-point
+        latency when a :meth:`use_measured` view is wired in."""
+        calibrated = m.barrier_cost(pe)
+        if self.measured_rates is None:
+            return calibrated
+        return self.measured_rates.quiesce_cost(calibrated)
+
+    def rank_reshape_vs_relaunch(self, cur: ExecConfig,
+                                 target: ExecConfig
+                                 ) -> tuple[float, float]:
+        """Price both ways of reaching ``target``: ``(in_place_cost,
+        relaunch_cost)``.
+
+        The in-place price is a quiesce pair (measured-rate blended —
+        a load-skewed world pays real wall time to reach a safe point,
+        which calibration alone cannot see) plus spawns for grown
+        members only; the relaunch price re-spawns every processing
+        element and re-scatters state, and stays purely calibrated —
+        a fresh world has no measured history by definition.
+        """
+        from repro.core.errors import WeaveError
+
+        try:
+            backend = self.registry.resolve(target)
+        except WeaveError:
+            return float("inf"), float("inf")
+        m = backend.calibrate(self.machine)
+        pe_cur, pe_new = cur.processing_elements, target.processing_elements
+        # grown members are un-parked / thread-spawned, never forked
+        # (the elastic fabric pre-forks at launch), so the *base*
+        # spawn cost applies even on backends whose calibration
+        # prices rank creation at fork class.
+        in_place = (2 * self._quiesce_cost(m, max(pe_cur, pe_new))
+                    + self.machine.spawn_cost * max(0, pe_new - pe_cur))
+        relaunch = (m.spawn_cost * pe_new + 2 * m.barrier_cost(pe_new)
+                    + (pe_new - 1) * m.network.p2p_cost(0, same_node=False))
+        return in_place, relaunch
+
     def transition_cost(self, cur: ExecConfig, target: ExecConfig) -> float:
         """Modelled one-off cost of moving ``cur`` -> ``target``.
 
@@ -118,7 +169,10 @@ class SelfAdaptationAdvisor:
         with ``elastic_ranks`` (or a pure team resize) is an *in-place
         reshape* — barrier pair plus spawns for the grown members only —
         while everything else is a *relaunch* that re-spawns every
-        processing element and re-scatters state.
+        processing element and re-scatters state.  Both prices come from
+        :meth:`rank_reshape_vs_relaunch`, so measured safe-point rates
+        (when wired in) shift this ranking exactly as they shift the
+        explicit reshape-vs-relaunch comparison.
         """
         from repro.core.errors import WeaveError
 
@@ -126,23 +180,14 @@ class SelfAdaptationAdvisor:
             backend = self.registry.resolve(target)
         except WeaveError:
             return float("inf")
-        m = backend.calibrate(self.machine)
         caps = backend.capabilities(target)
-        pe_cur, pe_new = cur.processing_elements, target.processing_elements
+        in_place_cost, relaunch_cost = self.rank_reshape_vs_relaunch(
+            cur, target)
         in_place = (
             target.mode is cur.mode and target.backend == cur.backend
             and (caps.elastic_ranks
                  or (caps.team_regions and target.nranks == cur.nranks)))
-        if in_place:
-            # grown members are un-parked / thread-spawned, never forked
-            # (the elastic fabric pre-forks at launch), so the *base*
-            # spawn cost applies even on backends whose calibration
-            # prices rank creation at fork class.
-            return (2 * m.barrier_cost(max(pe_cur, pe_new))
-                    + self.machine.spawn_cost * max(0, pe_new - pe_cur))
-        # relaunch: tear down, spawn the full new shape, re-scatter.
-        return (m.spawn_cost * pe_new + 2 * m.barrier_cost(pe_new)
-                + (pe_new - 1) * m.network.p2p_cost(0, same_node=False))
+        return in_place_cost if in_place else relaunch_cost
 
     def _transition_affordable(self, cur: ExecConfig, target: ExecConfig,
                                per_iter: float) -> bool:

@@ -27,6 +27,7 @@ adaptation all happen at safe points:
 from __future__ import annotations
 
 import copy
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.ckpt.failure import FailureInjector
@@ -45,6 +46,8 @@ from repro.dsm.partition import (
     scatter_inplace,
 )
 from repro.smp.team import ThreadTeam, current_worker
+from repro.telemetry import schema as _ts
+from repro.telemetry.plane import writer as telemetry_writer
 from repro.util.events import EventLog
 from repro.vtime.clock import VClock
 from repro.vtime.machine import MachineModel
@@ -501,6 +504,23 @@ class ExecutionContext:
         Returns True if real work happened (the team charges its barrier
         pair only in that case).
         """
+        tele = telemetry_writer()
+        if not tele.active:
+            return self._protocol_body(count)
+        t0 = perf_counter()
+        try:
+            return self._protocol_body(count)
+        finally:
+            # wall-side only: the histogram feeds the advisor's measured
+            # quiesce cost; adaptation/failure unwinds still count — they
+            # are safe-point passes the world paid for.
+            dt = perf_counter() - t0
+            tele.inc(_ts.SAFEPOINTS)
+            tele.inc(_ts.SAFEPOINT_SECONDS, dt)
+            tele.observe(_ts.SAFEPOINT_LATENCY, dt)
+            tele.clocks(self.clock().now)
+
+    def _protocol_body(self, count: int) -> bool:
         acted = False
         if self.rank == 0:
             # one timestamped event per safe point: the per-iteration
@@ -607,6 +627,9 @@ class ExecutionContext:
         if self.rank == 0:
             self.store.write(snap)
             self._charge_write(self.store.last_write_nbytes)
+            tele = telemetry_writer()
+            tele.inc(_ts.CKPT_BYTES, float(self.store.last_write_nbytes))
+            tele.inc(_ts.CKPT_WRITES)
         self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes,
                       written=self.store.last_write_nbytes,
@@ -680,6 +703,9 @@ class ExecutionContext:
             mode=self.mode.value, nranks=self.nranks, shard=self.rank)
         shard.write(snap)
         self._charge_write(shard.last_write_nbytes, store=shard)
+        tele = telemetry_writer()
+        tele.inc(_ts.CKPT_BYTES, float(shard.last_write_nbytes))
+        tele.inc(_ts.CKPT_WRITES)
         self.rankctx.comm.barrier()
         self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes,

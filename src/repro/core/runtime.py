@@ -68,6 +68,11 @@ class RunResult:
     phases: list[PhaseReport] = field(default_factory=list)
     restarts: int = 0
     adaptations: list[AdaptationRecord] = field(default_factory=list)
+    #: serialized :meth:`~repro.telemetry.registry.MetricsRegistry.
+    #: snapshot` of the run's metrics (``None`` with telemetry off) —
+    #: the same wire shape the service ``stats`` RPC returns and
+    #: ``FigureReport.emit_json`` embeds.
+    metrics: dict | None = None
 
     @property
     def adapted(self) -> bool:
@@ -109,7 +114,9 @@ class Runtime:
                  ckpt_async_depth: int = 2,
                  registry=None,
                  store: CheckpointStore | None = None,
-                 ledger: RunLedger | None = None) -> None:
+                 ledger: RunLedger | None = None,
+                 telemetry: bool = True,
+                 metrics=None) -> None:
         self.machine = machine if machine is not None else MachineModel()
         if ckpt_dir is None:
             ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
@@ -145,6 +152,37 @@ class Runtime:
         self.adapt_penalty = adapt_penalty
         #: execution-backend registry (None = the process-wide default).
         self.registry = registry
+        # the run's metrics plane: wall-side only (never consulted by a
+        # virtual clock), so results are bit-identical with telemetry on
+        # or off.  ``metrics`` injects a shared registry (the service
+        # aggregates per-job runtimes into one); ``telemetry=False``
+        # disables scraping entirely.
+        if metrics is not None:
+            self.metrics = metrics
+        elif telemetry:
+            from repro.telemetry import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = None
+        if self.metrics is not None:
+            writer = getattr(self.store, "writer", None)
+            if writer is not None:
+                # async-writer overlap: cumulative attrs surface as
+                # callback gauges so repeated runs never double-count.
+                self.metrics.gauge_fn(
+                    "repro_ckpt_writer_bytes_submitted",
+                    lambda: float(writer.bytes_submitted),
+                    help="Checkpoint bytes handed to the async writer")
+                self.metrics.gauge_fn(
+                    "repro_ckpt_writer_writes_completed",
+                    lambda: float(writer.writes_completed),
+                    help="Checkpoint files the async writer made durable")
+                self.metrics.gauge_fn(
+                    "repro_ckpt_writer_busy_seconds",
+                    lambda: float(writer.busy_seconds),
+                    help="Wall seconds the async writer spent in disk "
+                         "writes (the overlap it buys)")
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -195,6 +233,16 @@ class Runtime:
             sync = getattr(advisor, "use_registry", None)
             if sync is not None:
                 sync(self.registry)
+        if advisor is not None and self.metrics is not None \
+                and getattr(advisor, "measured_rates", None) is None:
+            # close the loop: the advisor's transition ranking blends
+            # the live measured rates scraped into this run's registry
+            # (calibration remains the cold-start fallback).
+            wire = getattr(advisor, "use_measured", None)
+            if wire is not None:
+                from repro.telemetry import MeasuredRates
+
+                wire(MeasuredRates(self.metrics))
         ctor_kwargs = ctor_kwargs or {}
         plan = plan if plan is not None else AdaptationPlan()
         injector = injector if injector is not None else FailureInjector()
@@ -223,11 +271,30 @@ class Runtime:
         services = PhaseServices(
             machine=self.machine, log=self.log, store=self.store,
             policy=self.policy, ckpt_strategy=self.ckpt_strategy,
-            advisor=advisor)
+            advisor=advisor, metrics=self.metrics)
         driver = PhaseDriver(services, self.ledger, registry=self.registry,
                              restart_penalty=self.restart_penalty,
                              adapt_penalty=self.adapt_penalty)
-        return driver.drive(
+        result = driver.drive(
             woven, ctor_args, ctor_kwargs, entry, entry_args, config,
             plan, injector, replay, auto_recover=auto_recover,
             max_restarts=max_restarts, recover_config=recover_config)
+        if self.metrics is not None:
+            # run-level counters: the same facts RunResult derives from
+            # its phase/adaptation records, re-exported under the unified
+            # naming scheme so every consumer reads one vocabulary.
+            self.metrics.counter_inc(
+                "repro_runtime_runs_total", 1.0,
+                help="Completed Runtime.run invocations")
+            self.metrics.counter_inc(
+                "repro_runtime_relaunches_total", float(result.relaunches),
+                help="Phase relaunches paid (teardown + restart chains)")
+            self.metrics.counter_inc(
+                "repro_runtime_restarts_total", float(result.restarts),
+                help="Failure-recovery restarts")
+            self.metrics.counter_inc(
+                "repro_runtime_in_place_reshapes_total",
+                float(len(result.in_place_reshapes)),
+                help="Adaptations applied without a relaunch")
+            result.metrics = self.metrics.snapshot()
+        return result

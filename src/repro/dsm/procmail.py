@@ -49,6 +49,8 @@ from repro.dsm.comm import (
 )
 from repro.dsm.mailbox import ANY_SOURCE, ANY_TAG, MailboxClosed, Message
 from repro.dsm.transport import QueueTransport, Transport
+from repro.telemetry import schema as _ts
+from repro.telemetry.plane import writer as telemetry_writer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dsm.comm import RankContext
@@ -121,6 +123,20 @@ class ProcessMailbox:
         cannot block past its deadline — each arrival used to restart
         the full timeout.
         """
+        tele = telemetry_writer()
+        if not tele.active:
+            return self._get(source, tag, timeout)
+        t0 = time.perf_counter()
+        try:
+            return self._get(source, tag, timeout)
+        finally:
+            # wall time blocked on the channel: the mailbox-wait series
+            # (receiver-side skew signal, never charged to vtime).
+            tele.inc(_ts.MAILBOX_WAIT_SECONDS, time.perf_counter() - t0)
+            tele.inc(_ts.MAILBOX_RECVS)
+
+    def _get(self, source: int, tag: int,
+             timeout: float | None) -> Message:
         for i, m in enumerate(self._pending):
             if self._matches(m, source, tag):
                 return self._pending.pop(i)

@@ -61,6 +61,9 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.telemetry import schema as _ts
+from repro.telemetry.plane import writer as telemetry_writer
+
 #: distinctive prefix for every segment this package creates; the
 #: lifecycle tests scan ``/dev/shm`` for it.
 SHM_PREFIX = "ppshm"
@@ -462,7 +465,7 @@ class BufferPool:
                 if slab.free:
                     if slab.capacity >= nbytes:
                         slab.mark(_LEASED)
-                        self.leases += 1
+                        self._count_lease()
                         return ShmLease(self, i, slab)
                     if grow_slot is None:
                         grow_slot = i
@@ -470,12 +473,20 @@ class BufferPool:
                 slot = empty_slot if empty_slot is not None else grow_slot
                 slab = self._provision(slot, nbytes)
                 slab.mark(_LEASED)
-                self.leases += 1
+                self._count_lease()
                 return ShmLease(self, slot, slab)
             if not wait or time.monotonic() >= deadline:
                 self.fallbacks += 1
+                telemetry_writer().inc(_ts.POOL_FALLBACKS)
                 return None
             time.sleep(2e-4)  # every slot in flight: wait for a recycle
+
+    def _count_lease(self) -> None:
+        self.leases += 1
+        tele = telemetry_writer()
+        if tele.active:
+            tele.inc(_ts.POOL_LEASES)
+            tele.set(_ts.POOL_IN_FLIGHT, float(self.in_flight()))
 
     # ------------------------------------------------------------------
     def in_flight(self) -> int:
@@ -823,22 +834,39 @@ class DataPlane:
             lease = self.pack_lease(value.nbytes)
             if lease is not None:
                 self.slab_msgs += 1
+                self._count_tier(_ts.SEND_BYTES_SLAB, _ts.SEND_MSGS_SLAB,
+                                 value.nbytes)
                 return lease.fill(value)
         return value
+
+    @staticmethod
+    def _count_tier(bytes_slot: int, msgs_slot: int, nbytes: int) -> None:
+        tele = telemetry_writer()
+        if tele.active:
+            tele.inc(bytes_slot, float(nbytes))
+            tele.inc(msgs_slot)
 
     def _pack_array(self, arr: np.ndarray, owned: bool):
         if arr.dtype.hasobject or arr.nbytes < self.threshold:
             self.inline_msgs += 1
+            self._count_tier(_ts.SEND_BYTES_INLINE, _ts.SEND_MSGS_INLINE,
+                             arr.nbytes)
             return arr if owned else arr.copy()
         ref = self._borrow_ref(arr)
         if ref is not None:
             self.borrow_msgs += 1
+            self._count_tier(_ts.SEND_BYTES_BORROW, _ts.SEND_MSGS_BORROW,
+                             arr.nbytes)
             return ref
         lease = self.pack_lease(arr.nbytes)
         if lease is None:  # ring exhausted: degrade, don't block forever
             self.inline_msgs += 1
+            self._count_tier(_ts.SEND_BYTES_INLINE, _ts.SEND_MSGS_INLINE,
+                             arr.nbytes)
             return arr if owned else arr.copy()
         self.slab_msgs += 1
+        self._count_tier(_ts.SEND_BYTES_SLAB, _ts.SEND_MSGS_SLAB,
+                         arr.nbytes)
         return lease.fill(arr)
 
     def _pack(self, obj, owned: bool):

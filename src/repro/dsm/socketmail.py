@@ -61,6 +61,8 @@ from repro.dsm.comm import (
 from repro.dsm.mailbox import Message
 from repro.dsm.procmail import ProcCommunicator, ProcessMailbox
 from repro.dsm.transport import Transport
+from repro.telemetry import schema as _ts
+from repro.telemetry.plane import writer as telemetry_writer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dsm.comm import RankContext
@@ -224,6 +226,10 @@ class SocketTransport(Transport):
                 self._conns[dest] = conn
             conn.sendall(_LEN.pack(len(blob)) + blob)
             self._frames[dest] = self._frames.get(dest, 0) + 1
+        tele = telemetry_writer()
+        if tele.active:
+            tele.inc(_ts.SEND_BYTES_TCP, float(len(blob)))
+            tele.inc(_ts.SEND_MSGS_TCP)
 
     # ------------------------------------------------------------------
     # ingress: the progress thread

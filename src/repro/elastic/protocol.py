@@ -42,6 +42,8 @@ from repro.ckpt.replay import ReplayState
 from repro.core.adaptation import AdaptationRecord, AdaptStep
 from repro.dsm.comm import TAG_COLL
 from repro.elastic.plan import ReshapePlan
+from repro.telemetry import schema as _ts
+from repro.telemetry.plane import writer as telemetry_writer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.context import ExecutionContext
@@ -192,11 +194,14 @@ def execute_moves(ctx: "ExecutionContext", plan: ReshapePlan, comm) -> None:
         if moves:
             fields.append((name, arr, axis, moves))
     schedule: list[int] = []
+    tele = telemetry_writer()
     for name, arr, axis, moves in fields:
         comm.win_expose("mv:" + name, arr)
         for mv in moves:
             if mv.src == me:
                 values, owned, put_idx = _move_payload(arr, mv.idx, axis)
+                if tele.active:
+                    tele.inc(_ts.MOVE_BYTES, float(values.nbytes))
                 comm.put("mv:" + name, values, mv.dst, put_idx,
                          axis=axis, owned=owned)
             elif mv.dst == me:
@@ -284,6 +289,7 @@ def apply_new_identity(ctx: "ExecutionContext", step: AdaptStep,
     ctx.log.emit("reshape", vtime=now, rank=ctx.rank, count=count,
                  ranks=plan.new_n, was=plan.old_n,
                  grew=plan.growing)
+    telemetry_writer().inc(_ts.RESHAPES)
     if ctx.rank == 0:
         ctx.reshapes.append(AdaptationRecord(
             at_count=count, from_config=old_config, to_config=step.config,

@@ -106,6 +106,10 @@ class PhaseServices:
     policy: CheckpointPolicy
     ckpt_strategy: str
     advisor: Any = None
+    #: the run's :class:`~repro.telemetry.registry.MetricsRegistry`, or
+    #: ``None`` with telemetry disabled.  Backends that see one create a
+    #: telemetry plane per launch and scrape it back into the registry.
+    metrics: Any = None
 
 
 class ExecutionBackend(ABC):
@@ -185,6 +189,34 @@ class ExecutionBackend(ABC):
             ckpt_strategy=services.ckpt_strategy, rankctx=rankctx, team=team,
             advisor=services.advisor,
             caps=self.capabilities(spec.config), reshaper=reshaper)
+
+    def telemetry_plane(self, services: PhaseServices, max_ranks: int,
+                        launch_id: str | None = None):
+        """The launch's telemetry plane, or ``None`` when disabled.
+
+        Thread substrates pass no ``launch_id`` and get a process-local
+        plane; process substrates pass their launch id and get a shared
+        segment children attach by deterministic name.
+        """
+        if services.metrics is None:
+            return None
+        from repro.telemetry import TelemetryPlane
+
+        if launch_id is None:
+            return TelemetryPlane.local(max_ranks, backend=self.name)
+        return TelemetryPlane.create(launch_id, max_ranks,
+                                     backend=self.name)
+
+    def scrape_telemetry(self, plane, services: PhaseServices) -> None:
+        """Drain-time scrape: fold every page — parked ones included —
+        into the run's registry, then drop the plane's mapping.  Called
+        exactly once per launch, from the backend's ``finally``."""
+        if plane is None:
+            return
+        try:
+            services.metrics.absorb(plane.scrape(include_frozen=True))
+        finally:
+            plane.close()
 
     def run_entry(self, ctx, spec: PhaseSpec) -> Any:
         """Instantiate the woven class, bind it, and call the entry."""

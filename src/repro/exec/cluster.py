@@ -108,15 +108,23 @@ class SimClusterBackend(ExecutionBackend):
 
     def launch(self, spec: PhaseSpec, services: PhaseServices
                ) -> PhaseOutcome:
+        from repro import telemetry
+
         cluster = SimCluster(spec.config.nranks, services.machine,
                              services.log, start_time=spec.start_vtime)
         elastic = self.capabilities(spec.config).elastic_ranks
         reshaper = ClusterReshaper(cluster, services.machine, None) \
             if elastic else None
         reshapes: list = []
+        # sized past the starting membership so joiners admitted by
+        # elastic growth land on pre-laid-out pages of the same plane.
+        plane = self.telemetry_plane(
+            services, max(4 * spec.config.nranks, 64))
 
         def rank_entry(join: JoinReplay | None = None):
             rankctx = current_rank()
+            if plane is not None and rankctx.rank < plane.max_ranks:
+                telemetry.bind(plane.writer(rankctx.rank))
             team = self.rank_team(spec, services)
             ctx = None
             try:
@@ -144,6 +152,7 @@ class SimClusterBackend(ExecutionBackend):
                     reshapes.extend(ctx.reshapes)
                 if team is not None:
                     team.shutdown()
+                telemetry.bind(None)
 
         if reshaper is not None:
             reshaper.make_rank_entry = rank_entry
@@ -161,6 +170,7 @@ class SimClusterBackend(ExecutionBackend):
             return out
         finally:
             cluster.shutdown()
+            self.scrape_telemetry(plane, services)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -153,6 +153,9 @@ class _ChildTask:
         self.store = store
         self.launch_id = launch_id
         self.max_ranks = max_ranks
+        #: whether the parent created a telemetry segment for this launch
+        #: (children attach it by deterministic name and bind their page).
+        self.telemetry = services.metrics is not None
         #: backend-specific launch plumbing (e.g. the sockets backend's
         #: address-rendezvous queue); filled by ``_launch_extras``.
         self.extras: dict = {}
@@ -478,6 +481,17 @@ def _rank_main(rank: int, task: _ChildTask,
         plane = shm.DataPlane(
             shm.BufferPool(task.launch_id, rank),
             threshold=task.backend.plane_threshold)
+    tplane = None
+    if getattr(task, "telemetry", False):
+        from repro import telemetry
+
+        # map the parent's telemetry segment and claim this rank's page.
+        # A rank parked from birth leaves its page empty (no writer, no
+        # zero-valued series in scrapes) until its first un-park.
+        tplane = telemetry.TelemetryPlane.attach(
+            task.launch_id, task.max_ranks, backend=task.backend.name)
+        if not parked:
+            telemetry.bind(tplane.writer(rank))
     try:
         while True:
             if parked:
@@ -486,11 +500,23 @@ def _rank_main(rank: int, task: _ChildTask,
                     return "stopped"  # phase over; parked ranks exit silent
                 join_payload = ctrl
                 parked = False
+                if tplane is not None:
+                    # un-park thaws (or first-activates) the rank's page.
+                    telemetry.bind(tplane.writer(rank))
             status, data, end_vtime, records = _run_rank_segment(
                 rank, task, log, join_payload, plane)
             if status == _RETIRED:
                 task.notify_queue.put(("events", rank, list(log)))
                 log = EventLog()
+                if tplane is not None:
+                    # park freezes the page: counts stay visible for the
+                    # drain-time scrape, live scrapes skip it.
+                    from repro.telemetry import writer as tele_writer
+
+                    w = tele_writer()
+                    if w.active:
+                        w.freeze()
+                    telemetry.bind(None)
                 if not repark:
                     return "retired"
                 parked, join_payload = True, None
@@ -506,6 +532,11 @@ def _rank_main(rank: int, task: _ChildTask,
                 (rank, status, data, end_vtime, list(log), records))
             return "done"
     finally:
+        if tplane is not None:
+            from repro import telemetry
+
+            telemetry.bind(None)
+            tplane.close()
         if own_plane and plane is not None:
             plane.close()
 
@@ -634,6 +665,10 @@ class MultiprocessBackend(ExecutionBackend):
         notify_queue = mpctx.Queue()
         funnel = self._make_funnel(services.store, mpctx, max_ranks)
         extras = self._launch_extras(mpctx)
+        # the launch's metrics segment: created before any fork so every
+        # child can attach it by deterministic name.
+        tplane = self.telemetry_plane(services, max_ranks,
+                                      launch_id=launch_id)
         procs: list = []
         try:
             for r in range(max_ranks):
@@ -659,7 +694,11 @@ class MultiprocessBackend(ExecutionBackend):
             self._reap(procs)
             funnel.stop()
             self._drain(channels + [result_queue, notify_queue], close=True)
-            self._unlink_segments(spec, launch_id, max_ranks)
+            # every worker is joined: the drain-time scrape (parked pages
+            # included) is race-free, and the segment can go.
+            self.scrape_telemetry(tplane, services)
+            self._unlink_segments(spec, launch_id, max_ranks,
+                                  telemetry=tplane is not None)
         self._merge_events(services.log, reports, stray_events)
         end = max([spec.start_vtime]
                   + [rep[3] for rep in reports.values() if rep[3] is not None])
@@ -832,12 +871,13 @@ class MultiprocessBackend(ExecutionBackend):
 
     @staticmethod
     def _unlink_segments(spec: PhaseSpec, launch_id: str,
-                         max_ranks: int) -> None:
+                         max_ranks: int, telemetry: bool = False) -> None:
         """Remove every segment this launch can have created.
 
         Deterministic names make this independent of worker reports, so
         it covers crashed ranks too: field segments by field name, data
-        plane slabs over the whole rank x slot name grid.
+        plane slabs over the whole rank x slot name grid, and (when the
+        launch carried one) the telemetry plane's segment.
         """
         plugset = getattr(spec.woven, "__pp_plugs__", None)
         fields = plugset.partitioned_fields() if plugset is not None else {}
@@ -845,6 +885,10 @@ class MultiprocessBackend(ExecutionBackend):
             shm.unlink_by_name(shm.segment_name(launch_id, f))
         shm.unlink_pool(launch_id, max_ranks)
         shm.unlink_heaps(launch_id, max_ranks)
+        if telemetry:
+            from repro.telemetry import unlink_telemetry
+
+            unlink_telemetry(launch_id)
 
     @staticmethod
     def _merge_events(log: EventLog, reports: dict, stray: list) -> None:

@@ -26,8 +26,13 @@ class SequentialBackend(ExecutionBackend):
 
     def launch(self, spec: PhaseSpec, services: PhaseServices
                ) -> PhaseOutcome:
+        from repro import telemetry
+
         ctx = self.make_context(spec, services)
         ctx.seed_clock(spec.start_vtime)
+        plane = self.telemetry_plane(services, 1)
+        if plane is not None:
+            telemetry.bind(plane.writer(0))
         try:
             value = self.run_entry(ctx, spec)
             ctx.ckpt_flush_barrier()  # pay the in-flight write remainder
@@ -38,6 +43,9 @@ class SequentialBackend(ExecutionBackend):
             if out is None:
                 raise
             return out
+        finally:
+            telemetry.bind(None)
+            self.scrape_telemetry(plane, services)
 
     @staticmethod
     def _end(ctx, spec: PhaseSpec) -> float:

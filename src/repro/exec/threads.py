@@ -35,8 +35,16 @@ class ThreadTeamBackend(ExecutionBackend):
 
     def launch(self, spec: PhaseSpec, services: PhaseServices
                ) -> PhaseOutcome:
+        from repro import telemetry
+
         team = ThreadTeam(services.machine, size=spec.config.workers,
                           log=services.log)
+        # the safe-point protocol and the checkpoint path both run on the
+        # calling thread (team workers only execute region bodies), so one
+        # page per launch captures the whole team's coordination metrics.
+        plane = self.telemetry_plane(services, 1)
+        if plane is not None:
+            telemetry.bind(plane.writer(0))
         try:
             ctx = self.make_context(spec, services, team=team)
             ctx.seed_clock(spec.start_vtime)
@@ -53,6 +61,8 @@ class ThreadTeamBackend(ExecutionBackend):
                 return out
         finally:
             team.shutdown()
+            telemetry.bind(None)
+            self.scrape_telemetry(plane, services)
 
     @staticmethod
     def _end(team: ThreadTeam, spec: PhaseSpec) -> float:

@@ -25,6 +25,7 @@ from repro.exec.base import PhaseOutcome, PhaseServices, PhaseSpec
 from repro.exec.multiproc import _FAILED, MultiprocessBackend
 from repro.service.fleet import CANCELLED, WorkerFleet
 from repro.service.steer import JobCancelled
+from repro.telemetry import unlink_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ckpt.store import CheckpointStore
@@ -143,6 +144,10 @@ class FleetBackend(MultiprocessBackend):
                 f"fleet could not supply {n} idle workers for job "
                 f"{self.job} within {self.lease_timeout}s")
         launch_id = shm.new_launch_id(self.job)
+        # per-launch telemetry plane, fleet-wide pages: a grow can
+        # activate any worker, so every potential rank owns a page.
+        tplane = self.telemetry_plane(services, fleet.workers,
+                                      launch_id=launch_id)
         self.assignment = dict(enumerate(wids))
         self._pending = {}
         self.current_nranks = n
@@ -177,6 +182,11 @@ class FleetBackend(MultiprocessBackend):
             fleet.funnel.unregister(self.job)
             if fleet.arena is not None:
                 fleet.arena.release(self.job)
+            # workers are idle (or respawned) by here: their pages are
+            # quiescent, so the scrape is race-free.
+            self.scrape_telemetry(tplane, services)
+            if tplane is not None:
+                unlink_telemetry(launch_id)
             # per-job shared-memory names: symmetric heap grid always,
             # launch-named field segments when the arena is off.
             shm.unlink_heaps(launch_id, fleet.workers)

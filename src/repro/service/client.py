@@ -47,8 +47,14 @@ class ServiceClient:
                entry_args: tuple = (), nranks: int = 2,
                min_ranks: int | None = None, max_ranks: int | None = None,
                priority: int = 0, policy=None,
-               ckpt_strategy: str = "master") -> int:
-        """Enqueue a job; returns its id (raises on a full queue)."""
+               ckpt_strategy: str = "master",
+               telemetry: bool = True) -> int:
+        """Enqueue a job; returns its id (raises on a full queue).
+
+        ``telemetry=False`` runs the job without a metrics plane: its
+        result carries ``metrics: None`` and nothing is folded into
+        the service-wide registry.
+        """
         base, plugs = _portable_woven(woven)
         request = {
             "woven": base, "plugs": plugs, "ctor_args": tuple(ctor_args),
@@ -56,6 +62,7 @@ class ServiceClient:
             "entry_args": tuple(entry_args), "nranks": nranks,
             "min_ranks": min_ranks, "max_ranks": max_ranks,
             "policy": policy, "ckpt_strategy": ckpt_strategy,
+            "telemetry": telemetry,
         }
         reply = self._call({"op": "submit", "request": request,
                             "priority": priority})

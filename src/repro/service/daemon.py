@@ -41,6 +41,7 @@ from repro.service.backend import FleetBackend
 from repro.service.fleet import WorkerFleet
 from repro.service.scheduler import JobQueue, QueueFull
 from repro.service.steer import JobCancelled
+from repro.telemetry import CONTENT_TYPE, MetricsRegistry
 from repro.vtime.machine import MachineModel
 
 
@@ -93,6 +94,45 @@ class RuntimeService:
         self._sock: socket.socket | None = None
         self.address: tuple[str, int] | None = None
         self._started = False
+        # the service-wide metrics registry: every finished job's
+        # snapshot is folded in under a ``job=<tag>`` label, and the
+        # fleet/arena occupancies surface as callback gauges — the one
+        # surface behind the ``stats`` RPC and the scrape endpoint.
+        self.metrics = MetricsRegistry()
+        self.metrics.gauge_set(
+            "repro_service_workers_total", float(workers),
+            help="Fleet worker processes")
+        self.metrics.gauge_set(
+            "repro_service_lanes_total", float(lanes),
+            help="Concurrent job lanes")
+        self.metrics.gauge_fn(
+            "repro_service_workers_idle",
+            lambda: float(self.fleet.idle_count()),
+            help="Fleet workers parked in the pool")
+        self.metrics.gauge_fn(
+            "repro_service_jobs_queued",
+            lambda: float(self.queue.depth()),
+            help="Jobs waiting for a lane")
+        self.metrics.gauge_fn(
+            "repro_service_jobs_running",
+            lambda: float(len(self._running)),
+            help="Jobs currently holding a lane")
+        if self.fleet.arena is not None:
+            arena = self.fleet.arena
+            self.metrics.gauge_fn(
+                "repro_arena_segments_total",
+                lambda: float(arena.stats()["segments"]),
+                help="Shared segments the arena ever allocated")
+            self.metrics.gauge_fn(
+                "repro_arena_segments_free",
+                lambda: float(arena.stats()["free"]),
+                help="Arena segments on the free lists")
+            self.metrics.gauge_fn(
+                "repro_arena_segments_leased",
+                lambda: float(arena.stats()["leased"]),
+                help="Arena segments leased to running jobs")
+        self._metrics_sock: socket.socket | None = None
+        self.metrics_address: tuple[str, int] | None = None
 
     # ------------------------------------------------------------------
     def start(self) -> "RuntimeService":
@@ -116,6 +156,59 @@ class RuntimeService:
         self._started = True
         return self
 
+    # ------------------------------------------------------------------
+    def serve_metrics(self, host: str | None = None
+                      ) -> tuple[str, int]:
+        """Expose the registry over plain HTTP for curl-style scraping.
+
+        Binds a loopback socket (ephemeral port) and answers every GET
+        with the Prometheus text exposition of :attr:`metrics` — enough
+        protocol for ``curl`` and a Prometheus scrape target, with no
+        server framework.  Idempotent; returns ``(host, port)``.
+        """
+        if self._metrics_sock is not None:
+            return self.metrics_address
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host or self._host, 0))
+        sock.listen()
+        sock.settimeout(0.25)
+        self._metrics_sock = sock
+        self.metrics_address = sock.getsockname()
+        t = threading.Thread(target=self._metrics_loop, daemon=True,
+                             name="svc-metrics")
+        t.start()
+        self._threads.append(t)
+        return self.metrics_address
+
+    def _metrics_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._metrics_sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                try:
+                    conn.settimeout(5.0)
+                    # drain the request head; the path is irrelevant —
+                    # there is exactly one resource to serve.
+                    head = b""
+                    while b"\r\n\r\n" not in head and len(head) < 65536:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        head += chunk
+                    body = self.metrics.to_prometheus().encode("utf-8")
+                    conn.sendall(
+                        b"HTTP/1.0 200 OK\r\n"
+                        b"Content-Type: " + CONTENT_TYPE.encode() + b"\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body)
+                except OSError:
+                    continue
+
     def stop(self) -> None:
         if not self._started:
             return
@@ -133,11 +226,12 @@ class RuntimeService:
                 self.fleet.steer[job.lane].cancel()
         for job in running:
             job.done.wait(timeout=self.join_timeout)
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+        for s in (self._sock, self._metrics_sock):
+            if s is not None:
+                try:
+                    s.close()
+                except OSError:
+                    pass
         for t in self._threads:
             t.join(timeout=5.0)
         self.fleet.shutdown()
@@ -276,7 +370,8 @@ class RuntimeService:
             rt = Runtime(machine=self.machine, ckpt_dir=self.ckpt_dir,
                          policy=req.get("policy") or self.policy,
                          ckpt_strategy=req.get("ckpt_strategy", "master"),
-                         store=store, ledger=ledger, registry=registry)
+                         store=store, ledger=ledger, registry=registry,
+                         telemetry=req.get("telemetry", True))
             res = rt.run(woven,
                          ctor_args=tuple(req.get("ctor_args", ())),
                          ctor_kwargs=req.get("ctor_kwargs") or {},
@@ -285,7 +380,13 @@ class RuntimeService:
                          config=config)
             job.result = {"value": res.value, "vtime": res.vtime,
                           "relaunches": res.relaunches,
-                          "reshapes": len(res.in_place_reshapes)}
+                          "reshapes": len(res.in_place_reshapes),
+                          "metrics": res.metrics}
+            if res.metrics is not None:
+                # fold the job's run into the service-wide registry,
+                # labelled so multi-job aggregates stay attributable.
+                self.metrics.absorb_snapshot(
+                    res.metrics, extra_labels={"job": job.tag})
             job.status = "done"
         except JobCancelled:
             job.status = "cancelled"
@@ -390,7 +491,17 @@ class RuntimeService:
         return {"ok": True, "was": job.status}
 
     def _op_stats(self) -> dict:
-        out = {"ok": True, "idle_workers": self.fleet.idle_count(),
+        """The ``stats`` RPC: a serialized metrics-registry snapshot.
+
+        ``metrics`` is the API — the same wire shape as
+        ``RunResult.metrics`` and ``BENCH_*.json``'s embedded section.
+        The flat ``idle_workers``/``queued``/``running``/``workers``/
+        ``lanes``/``arena`` keys are a deprecated adapter kept for one
+        release; new consumers should read the snapshot's
+        ``repro_service_*``/``repro_arena_*`` gauges instead.
+        """
+        out = {"ok": True, "metrics": self.metrics.snapshot(),
+               "idle_workers": self.fleet.idle_count(),
                "queued": self.queue.depth(),
                "running": len(self._running),
                "workers": self.fleet.workers, "lanes": self.fleet.lanes}

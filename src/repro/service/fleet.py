@@ -77,6 +77,9 @@ class JobTicket:
     max_ranks: int
     funnel_async: bool
     funnel_depth: int
+    #: whether the parent created a telemetry plane for this launch —
+    #: workers attach their rank page only when told to.
+    telemetry: bool = False
 
 
 class _FleetWorkerBackend(MultiprocessBackend):
@@ -190,6 +193,9 @@ def _worker_main(boot: _WorkerBoot) -> None:
                     # the ticket pre-portabled the spec; restore the
                     # plug set so the worker re-weaves.
                     task.plugs = t.plugs
+                # the boot services carry no registry; the ticket says
+                # whether the job's parent is scraping a plane.
+                task.telemetry = t.telemetry
                 if plane is not None:
                     # symmetric heaps are the one per-job plane piece:
                     # window allocations must not collide across jobs.
@@ -391,7 +397,8 @@ class WorkerFleet:
             plugs=plugs, machine=services.machine, policy=services.policy,
             ckpt_strategy=services.ckpt_strategy, backend=wbackend,
             max_ranks=self.workers, funnel_async=store.is_async,
-            funnel_depth=store.writer.depth if store.is_async else 0)
+            funnel_depth=store.writer.depth if store.is_async else 0,
+            telemetry=services.metrics is not None)
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:

@@ -1,0 +1,67 @@
+"""Measured rates: the advisor's live view over the metrics registry.
+
+Closes the loop the paper's self-adaptation story asks for: instead of
+steering on static calibration constants alone, the advisor blends the
+*measured* behaviour of the running world — mean safe-point protocol
+latency today; the registry carries bytes-per-tier and mailbox wait
+series for richer models later — with the calibrated priors.
+
+Calibration stays the cold-start fallback: with fewer than
+``min_samples`` observations the blend weight is proportionally small,
+and with none at all the calibrated value passes through untouched, so
+a fresh world ranks transitions exactly as before.  The registry is
+scraped from wall-side telemetry only — nothing here ever feeds a
+virtual clock, so vtime determinism is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.registry import MetricsRegistry
+
+#: histogram the quiesce-cost estimate reads.
+_SAFEPOINT_LATENCY = "repro_exec_safepoint_latency_seconds"
+
+
+class MeasuredRates:
+    """Blend measured rates with calibrated priors, sample-weighted."""
+
+    def __init__(self, registry: "MetricsRegistry",
+                 min_samples: int = 16) -> None:
+        if min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        self.registry = registry
+        self.min_samples = min_samples
+
+    # ------------------------------------------------------------------
+    def safepoint_latency(self) -> tuple[float, int]:
+        """Mean wall seconds per safe-point pass, and the sample count."""
+        count, total = self.registry.hist_totals(_SAFEPOINT_LATENCY)
+        if count <= 0.0:
+            return 0.0, 0
+        return total / count, int(count)
+
+    def blend(self, calibrated: float, measured: float,
+              samples: int) -> float:
+        """Sample-weighted mix: calibration dominates until enough
+        observations accumulate, then the measurement takes over."""
+        if samples <= 0:
+            return calibrated
+        w = min(1.0, samples / float(self.min_samples))
+        return (1.0 - w) * calibrated + w * measured
+
+    # ------------------------------------------------------------------
+    def quiesce_cost(self, calibrated: float) -> float:
+        """The cost of bringing every rank to a safe point, as measured.
+
+        The calibrated prior is the modelled barrier cost; the measured
+        signal is the mean observed safe-point protocol latency — the
+        wall price the running world actually pays to quiesce, load
+        skew included.
+        """
+        mean, n = self.safepoint_latency()
+        if n == 0:
+            return calibrated
+        return self.blend(calibrated, mean, n)

@@ -1,0 +1,319 @@
+"""The shared-memory telemetry plane: per-rank pages, lock-free writers.
+
+One :class:`TelemetryPlane` serves one world (one phase launch): a flat
+``float64`` buffer of ``max_ranks`` fixed-layout pages (see
+:mod:`repro.telemetry.schema`), backed by one dedicated shared-memory
+segment for process substrates (``ppshm-<launch id>-telemetry``, swept
+by the parent's deterministic-name cleanup like every other segment of
+the launch) or a plain process-local array for thread substrates — the
+scrape path is identical either way.
+
+**Writer discipline** (mpmetrics-style, single writer per page):
+
+* each rank writes *only its own page*, so no write ever races another
+  write — the plane needs no locks at all;
+* every slot is guarded by its own sequence word: the writer bumps it
+  to odd, mutates the payload words, bumps it back to even.  A scraper
+  that observes an odd or changed sequence retries, so cross-process
+  readers can never see a torn multi-word value (the histogram
+  count/sum/bucket triple is the case that matters);
+* a page header flag says whether the page is empty, live, or frozen —
+  a parked worker's page is frozen (its counts stay visible in the
+  segment but the scraper skips it) until the rank is un-parked.
+
+The writer the hot paths see is bound **thread-locally**: in-process
+backends run ranks as threads of one interpreter, so a module global
+would collide.  Instrumented library code (the data plane, mailboxes,
+the safe-point protocol) calls :func:`writer` and gets either the
+bound rank's :class:`TelemetryWriter` or the shared no-op
+:class:`NullWriter` — telemetry off costs one attribute load and a
+branch.  Nothing here ever touches a virtual clock: all timestamps are
+wall-side (``perf_counter``), so results are bit-identical with
+telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter, sleep
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsm import shm
+
+import numpy as np
+
+from repro.telemetry.schema import (
+    COUNTER,
+    HISTOGRAM,
+    PAGE_ACTIVE,
+    PAGE_FROZEN,
+    PAGE_WORDS,
+    SCHEMA,
+    VTIME_SECONDS,
+    WALL_SECONDS,
+)
+
+
+def telemetry_name(launch_id: str) -> str:
+    """The deterministic segment name of one launch's metrics plane."""
+    # imported here (and in create/attach below), not at module top:
+    # shm's hot paths import this module's writer, so the dependency
+    # must stay one-way at import time.
+    from repro.dsm import shm
+
+    return f"{shm.SHM_PREFIX}-{launch_id}-telemetry"
+
+
+@dataclass
+class MetricSample:
+    """One scraped (or directly registered) metric value.
+
+    ``labels`` is a sorted tuple of ``(key, value)`` pairs — hashable,
+    picklable, and already in Prometheus emission order.  Histograms
+    carry ``(count, sum, per-bucket counts)`` in ``hist`` with the
+    bucket bounds alongside; scalar kinds carry ``value``.
+    """
+
+    name: str
+    kind: str
+    labels: tuple[tuple[str, str], ...]
+    value: float = 0.0
+    hist: tuple[float, float, tuple[float, ...]] | None = None
+    buckets: tuple[float, ...] = ()
+    help: str = ""
+
+    def labeled(self, extra: dict[str, str]) -> "MetricSample":
+        merged = dict(self.labels)
+        merged.update({k: str(v) for k, v in extra.items()})
+        return MetricSample(self.name, self.kind,
+                            tuple(sorted(merged.items())), self.value,
+                            self.hist, self.buckets, self.help)
+
+
+class NullWriter:
+    """The disabled hot path: every operation is a no-op."""
+
+    active = False
+
+    def inc(self, slot: int, value: float = 1.0) -> None:
+        pass
+
+    def set(self, slot: int, value: float) -> None:
+        pass
+
+    def observe(self, slot: int, value: float) -> None:
+        pass
+
+    def clocks(self, vtime: float) -> None:
+        pass
+
+
+NULL_WRITER = NullWriter()
+
+_tl = threading.local()
+
+
+def writer() -> "TelemetryWriter | NullWriter":
+    """The telemetry writer bound to the calling thread (no-op writer
+    outside an instrumented rank, or with telemetry disabled)."""
+    return getattr(_tl, "tele", NULL_WRITER)
+
+
+def bind(w: "TelemetryWriter | None") -> None:
+    """Bind ``w`` as this thread's hot-path writer (None unbinds)."""
+    if w is None:
+        _tl.tele = NULL_WRITER
+    else:
+        _tl.tele = w
+
+
+class TelemetryWriter:
+    """One rank's lock-free write handle onto its own page."""
+
+    active = True
+
+    def __init__(self, page: np.ndarray, rank: int) -> None:
+        self._page = page
+        self.rank = rank
+        #: wall anchor for the vtime-vs-wall skew gauge.
+        self.bound_at = perf_counter()
+        page[0] = PAGE_ACTIVE
+
+    # -- seqlocked slot mutations (single writer: this rank) -----------
+    def inc(self, slot: int, value: float = 1.0) -> None:
+        p = self._page
+        o = SCHEMA[slot].offset
+        s = p[o] + 1.0
+        p[o] = s            # odd: write in progress
+        p[o + 1] += value
+        p[o] = s + 1.0      # even: consistent
+
+    def set(self, slot: int, value: float) -> None:
+        p = self._page
+        o = SCHEMA[slot].offset
+        s = p[o] + 1.0
+        p[o] = s
+        p[o + 1] = value
+        p[o] = s + 1.0
+
+    def observe(self, slot: int, value: float) -> None:
+        spec = SCHEMA[slot]
+        p = self._page
+        o = spec.offset
+        s = p[o] + 1.0
+        p[o] = s
+        p[o + 1] += 1.0                              # count
+        p[o + 2] += value                            # sum
+        p[o + 3 + spec.bucket_index(value)] += 1.0   # bucket
+        p[o] = s + 1.0
+
+    def clocks(self, vtime: float) -> None:
+        """Stamp the vtime / wall gauge pair (skew = wall - vtime)."""
+        self.set(VTIME_SECONDS, vtime)
+        self.set(WALL_SECONDS, perf_counter() - self.bound_at)
+
+    # -- page lifecycle ------------------------------------------------
+    def freeze(self) -> None:
+        """Mark the page parked: counts stay, scrapes skip it."""
+        self._page[0] = PAGE_FROZEN
+
+    def thaw(self) -> None:
+        self._page[0] = PAGE_ACTIVE
+
+
+class TelemetryPlane:
+    """All pages of one world, plus the parent's scrape path."""
+
+    def __init__(self, max_ranks: int, backend: str = "",
+                 segment: shm.ShmSegment | None = None) -> None:
+        self.max_ranks = max_ranks
+        self.backend = backend
+        self._seg = segment
+        if segment is not None:
+            self._buf = segment.ndarray()
+        else:
+            self._buf = np.zeros(max_ranks * PAGE_WORDS, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def local(cls, max_ranks: int, backend: str = "") -> "TelemetryPlane":
+        """A process-local plane (thread substrates; no segment)."""
+        return cls(max_ranks, backend=backend)
+
+    @classmethod
+    def create(cls, launch_id: str, max_ranks: int,
+               backend: str = "") -> "TelemetryPlane":
+        """Allocate the launch's telemetry segment (parent side)."""
+        from repro.dsm import shm
+
+        seg = shm.ShmSegment.allocate(telemetry_name(launch_id),
+                                      (max_ranks * PAGE_WORDS,), np.float64)
+        seg.ndarray()[:] = 0.0
+        return cls(max_ranks, backend=backend, segment=seg)
+
+    @classmethod
+    def attach(cls, launch_id: str, max_ranks: int,
+               backend: str = "") -> "TelemetryPlane":
+        """Map an existing telemetry segment (rank-process side)."""
+        from repro.dsm import shm
+
+        seg = shm.ShmSegment.attach(telemetry_name(launch_id),
+                                    (max_ranks * PAGE_WORDS,), np.float64)
+        return cls(max_ranks, backend=backend, segment=seg)
+
+    # ------------------------------------------------------------------
+    def page(self, rank: int) -> np.ndarray:
+        if not (0 <= rank < self.max_ranks):
+            raise ValueError(f"rank {rank} outside plane of "
+                             f"{self.max_ranks} pages")
+        return self._buf[rank * PAGE_WORDS:(rank + 1) * PAGE_WORDS]
+
+    def writer(self, rank: int) -> TelemetryWriter:
+        """This rank's write handle; activates (or thaws) its page."""
+        return TelemetryWriter(self.page(rank), rank)
+
+    # ------------------------------------------------------------------
+    # the scrape path (parent / reader side)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_slot(page: np.ndarray, offset: int,
+                   words: int) -> np.ndarray:
+        """Seqlock read: retry until an even, unchanged sequence brackets
+        the payload copy.
+
+        Every failed poll yields the interpreter (``sleep(0)``): with
+        in-process writers a reader that spins without yielding burns
+        its whole GIL slice observing one preempted writer frozen
+        mid-store — the yield is what lets the writer's few remaining
+        bytecodes run, so the retry actually samples a *new* state.
+        Bounded all the same — a wedged writer (a rank killed mid-store)
+        must not hang the scraper; the final best-effort copy is then no
+        worse than what a lock would have left behind."""
+        vals = page[offset + 1:offset + words].copy()
+        for _ in range(4096):
+            s1 = page[offset]
+            if s1 % 2.0 != 0.0:
+                sleep(0.0)
+                continue
+            vals = page[offset + 1:offset + words].copy()
+            if page[offset] == s1:
+                return vals
+            sleep(0.0)
+        return vals
+
+    def _page_samples(self, rank: int) -> Iterator[MetricSample]:
+        page = self.page(rank)
+        labels_extra = {"rank": str(rank)}
+        if self.backend:
+            labels_extra["backend"] = self.backend
+        for spec in SCHEMA:
+            vals = self._read_slot(page, spec.offset, spec.words)
+            labels = tuple(sorted(
+                dict(spec.labels, **labels_extra).items()))
+            if spec.kind == HISTOGRAM:
+                count, total = float(vals[0]), float(vals[1])
+                if count == 0.0:
+                    continue
+                yield MetricSample(spec.name, HISTOGRAM, labels,
+                                   hist=(count, total,
+                                         tuple(float(v) for v in vals[2:])),
+                                   buckets=spec.buckets, help=spec.help)
+            else:
+                if vals[0] == 0.0 and spec.kind == COUNTER:
+                    continue
+                yield MetricSample(spec.name, spec.kind, labels,
+                                   value=float(vals[0]), help=spec.help)
+
+    def scrape(self, include_frozen: bool = False) -> list[MetricSample]:
+        """Consistent samples of every live page.
+
+        Empty pages (never bound) and frozen pages (parked workers) are
+        skipped; pass ``include_frozen`` for the drain-time scrape that
+        folds a finished world's parked pages in as well.
+        """
+        out: list[MetricSample] = []
+        wanted = ({PAGE_ACTIVE, PAGE_FROZEN} if include_frozen
+                  else {PAGE_ACTIVE})
+        for rank in range(self.max_ranks):
+            if float(self.page(rank)[0]) in wanted:
+                out.extend(self._page_samples(rank))
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._buf = np.zeros(0, dtype=np.float64)
+        if self._seg is not None:
+            self._seg.close()
+
+    def unlink(self) -> None:
+        if self._seg is not None:
+            self._seg.unlink()
+
+
+def unlink_telemetry(launch_id: str) -> None:
+    """Parent crash-path sweep for the launch's telemetry segment."""
+    from repro.dsm import shm
+
+    shm.unlink_by_name(telemetry_name(launch_id))
