@@ -210,6 +210,13 @@ class FunnelStore:
         return a, b
 
     def write(self, snap: "Snapshot") -> None:
+        from time import perf_counter
+
+        from repro.trace import schema as _tc
+        from repro.trace.plane import tracer as trace_writer
+
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
         payload: "Snapshot | PackedSnapshot" = snap
         if self.plane is not None:
             # large array fields ride slabs; the synchronous ack below
@@ -218,6 +225,11 @@ class FunnelStore:
         nbytes, kind = self._rpc(_OP_WRITE, payload)
         self.last_write_nbytes = nbytes
         self.last_write_kind = kind
+        # the funnel round-trip is the worker's real checkpoint-write
+        # cost (pack + ship + parent write + ack); covers the framed-TCP
+        # variant too, which only overrides ``_rpc``.
+        if tr.active:
+            tr.span(_tc.CKPT_FUNNEL, tw0, a=float(nbytes))
 
     def flush(self) -> None:
         self._rpc(_OP_FLUSH, None)

@@ -33,6 +33,9 @@ import threading
 from pathlib import Path
 from time import perf_counter
 
+from repro.trace import schema as _tc
+from repro.trace.plane import tracer as trace_writer
+
 
 def atomic_write_bytes(path: Path, data: bytes) -> None:
     """Write ``data`` to ``path`` atomically and durably.
@@ -43,6 +46,8 @@ def atomic_write_bytes(path: Path, data: bytes) -> None:
     rename itself survives a power cut.
     """
     path = Path(path)
+    tr = trace_writer()  # no-op on the async worker thread (unbound)
+    tw0 = perf_counter() if tr.active else 0.0
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
@@ -55,6 +60,8 @@ def atomic_write_bytes(path: Path, data: bytes) -> None:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+    if tr.active:
+        tr.span(_tc.CKPT_WRITE, tw0, a=float(len(data)))
 
 
 def fsync_dir(directory: Path) -> None:
@@ -130,7 +137,14 @@ class AsyncCheckpointWriter:
 
     def flush(self) -> None:
         """Durability barrier: block until everything submitted is on disk."""
-        self._q.join()
+        tr = trace_writer()
+        if tr.active:
+            tw0 = perf_counter()
+            pending = float(self.pending())
+            self._q.join()
+            tr.span(_tc.CKPT_FLUSH, tw0, a=pending)
+        else:
+            self._q.join()
         self._raise_pending()
 
     def pending(self) -> int:

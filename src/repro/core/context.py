@@ -48,6 +48,8 @@ from repro.dsm.partition import (
 from repro.smp.team import ThreadTeam, current_worker
 from repro.telemetry import schema as _ts
 from repro.telemetry.plane import writer as telemetry_writer
+from repro.trace import schema as _tc
+from repro.trace.plane import tracer as trace_writer
 from repro.util.events import EventLog
 from repro.vtime.clock import VClock
 from repro.vtime.machine import MachineModel
@@ -505,7 +507,8 @@ class ExecutionContext:
         pair only in that case).
         """
         tele = telemetry_writer()
-        if not tele.active:
+        tr = trace_writer()
+        if not tele.active and not tr.active:
             return self._protocol_body(count)
         t0 = perf_counter()
         try:
@@ -515,10 +518,14 @@ class ExecutionContext:
             # quiesce cost; adaptation/failure unwinds still count — they
             # are safe-point passes the world paid for.
             dt = perf_counter() - t0
-            tele.inc(_ts.SAFEPOINTS)
-            tele.inc(_ts.SAFEPOINT_SECONDS, dt)
-            tele.observe(_ts.SAFEPOINT_LATENCY, dt)
-            tele.clocks(self.clock().now)
+            if tele.active:
+                tele.inc(_ts.SAFEPOINTS)
+                tele.inc(_ts.SAFEPOINT_SECONDS, dt)
+                tele.observe(_ts.SAFEPOINT_LATENCY, dt)
+                tele.clocks(self.clock().now)
+            if tr.active:
+                tr.span(_tc.SAFEPOINT, t0, a=self.clock().now,
+                        b=float(count))
 
     def _protocol_body(self, count: int) -> bool:
         acted = False
@@ -592,6 +599,8 @@ class ExecutionContext:
         to restart the application on any of the execution modes".
         All ranks return a Snapshot object but only member 0's holds data.
         """
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
         shared_involved = False
         if collect and self.distributed:
             shared_involved = any(self._shared(f) for f in self.safedata)
@@ -614,6 +623,8 @@ class ExecutionContext:
             # fence readers: no rank resumes mutating the shared pages
             # until member 0's capture (an immediate encode) is done.
             self.rankctx.comm.barrier()
+        if tr.active:
+            tr.span(_tc.CAPTURE, tw0, a=self.clock().now, b=float(count))
         return snap
 
     def _take_checkpoint(self, count: int) -> None:
@@ -623,6 +634,8 @@ class ExecutionContext:
             self._take_checkpoint_local(count)
             return
         t0 = self.clock().now
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
         snap = self.capture_snapshot(count)
         if self.rank == 0:
             self.store.write(snap)
@@ -630,6 +643,9 @@ class ExecutionContext:
             tele = telemetry_writer()
             tele.inc(_ts.CKPT_BYTES, float(self.store.last_write_nbytes))
             tele.inc(_ts.CKPT_WRITES)
+        if tr.active:
+            tr.span(_tc.CHECKPOINT, tw0, a=self.clock().now,
+                    b=float(count))
         self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes,
                       written=self.store.last_write_nbytes,
@@ -697,6 +713,8 @@ class ExecutionContext:
         assert self.rankctx is not None and self.store is not None
         shard = self.store.shard(self.rank)
         t0 = self.clock().now
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
         self.rankctx.comm.barrier()
         snap = Snapshot.capture(
             self.instance, self.safedata, count,
@@ -707,6 +725,9 @@ class ExecutionContext:
         tele.inc(_ts.CKPT_BYTES, float(shard.last_write_nbytes))
         tele.inc(_ts.CKPT_WRITES)
         self.rankctx.comm.barrier()
+        if tr.active:
+            tr.span(_tc.CHECKPOINT_LOCAL, tw0, a=self.clock().now,
+                    b=float(count))
         self.log.emit("checkpoint", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes,
                       written=shard.last_write_nbytes,
@@ -723,6 +744,8 @@ class ExecutionContext:
         (non-root members receive their partitions over the wire).
         """
         t0 = self.clock().now
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
         if self.distributed:
             comm = self.rankctx.comm
             if self.rank == 0 and snap is not None:
@@ -751,6 +774,8 @@ class ExecutionContext:
                 self.clock().charge_io(self.machine.disk.read_cost(
                     snap.meta.get("disk_nbytes", snap.nbytes)))
             snap.restore_into(self.instance)
+        if tr.active:
+            tr.span(_tc.RESTORE, tw0, a=self.clock().now, b=float(count))
         self.log.emit("restore", vtime=self.clock().now, rank=self.rank,
                       count=count, nbytes=snap.nbytes if snap else 0,
                       load_seconds=self.clock().now - t0)
@@ -789,6 +814,10 @@ class ExecutionContext:
 
             self.team.request_resize(new.workers)
             self.config = new
+            tr = trace_writer()
+            if tr.active:
+                tr.instant(_tc.TEAM_RESIZE, a=self.clock().now,
+                           b=float(new.workers))
             self.log.emit("adapt_resize", vtime=self.clock().now,
                           count=count, workers=new.workers)
             if self.rank == 0:
@@ -822,6 +851,9 @@ class ExecutionContext:
                 # durable (and its vtime fully paid) before we unwind.
                 self.ckpt_flush_barrier()
             snap.meta["from_disk"] = True
+        tr = trace_writer()
+        if tr.active:
+            tr.instant(_tc.ADAPT_EXIT, a=self.clock().now, b=float(count))
         self.log.emit("adapt_exit", vtime=self.clock().now, rank=self.rank,
                       count=count, to=str(new), restart=step.via_restart)
         raise AdaptationExit(snap if self.rank == 0 else None, step)

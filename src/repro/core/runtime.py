@@ -73,6 +73,11 @@ class RunResult:
     #: the same wire shape the service ``stats`` RPC returns and
     #: ``FigureReport.emit_json`` embeds.
     metrics: dict | None = None
+    #: assembled Chrome trace-event document (``None`` with tracing
+    #: off): one track per rank plus the driver track, nested safe-point
+    #: /checkpoint spans, cross-rank message flow arrows — load it
+    #: straight into Perfetto / ``chrome://tracing``.
+    trace: dict | None = None
 
     @property
     def adapted(self) -> bool:
@@ -116,7 +121,8 @@ class Runtime:
                  store: CheckpointStore | None = None,
                  ledger: RunLedger | None = None,
                  telemetry: bool = True,
-                 metrics=None) -> None:
+                 metrics=None,
+                 trace: bool | str = False) -> None:
         self.machine = machine if machine is not None else MachineModel()
         if ckpt_dir is None:
             ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
@@ -165,6 +171,12 @@ class Runtime:
             self.metrics = MetricsRegistry()
         else:
             self.metrics = None
+        # the run's trace plane: ``trace=True`` records full-depth rings
+        # (Perfetto-loadable timelines), ``trace="flight"`` keeps them
+        # small so only the last-N events per rank survive — the crash
+        # flight recorder.  Wall-side only, like telemetry: results are
+        # bit-identical with tracing on or off.
+        self.trace = trace
         if self.metrics is not None:
             writer = getattr(self.store, "writer", None)
             if writer is not None:
@@ -268,10 +280,15 @@ class Runtime:
                 self.log.emit("pcr_replay_engaged",
                               count=snap.safepoint_count)
 
+        collector = None
+        if self.trace:
+            from repro.trace import TraceCollector
+
+            collector = TraceCollector(flight=(self.trace == "flight"))
         services = PhaseServices(
             machine=self.machine, log=self.log, store=self.store,
             policy=self.policy, ckpt_strategy=self.ckpt_strategy,
-            advisor=advisor, metrics=self.metrics)
+            advisor=advisor, metrics=self.metrics, trace=collector)
         driver = PhaseDriver(services, self.ledger, registry=self.registry,
                              restart_penalty=self.restart_penalty,
                              adapt_penalty=self.adapt_penalty)
@@ -297,4 +314,6 @@ class Runtime:
                 float(len(result.in_place_reshapes)),
                 help="Adaptations applied without a relaunch")
             result.metrics = self.metrics.snapshot()
+        if collector is not None:
+            result.trace = collector.assemble(events=self.log)
         return result

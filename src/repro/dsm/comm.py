@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.dsm.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
 from repro.smp.barrier import AdaptiveBarrier
+from repro.trace.plane import tracer as trace_writer
 from repro.util.serialization import nbytes_of
 from repro.vtime.clock import VClock
 from repro.vtime.machine import MachineModel
@@ -253,10 +254,14 @@ class Communicator:
         nbytes = nbytes_of(obj)  # logical size: transport-independent cost
         cost = self.machine.p2p_cost(nbytes, ctx.rank, dest)
         ctx.clock.charge_comm(cost)
+        # message id for the trace plane's cross-rank flow edges: the
+        # NullTracer returns 0 ("untraced"), so envelopes are identical
+        # with tracing off.
+        seq = trace_writer().send(dest, tag, epoch=self.mail_epoch)
         self.mailboxes[dest].put(Message(
             src=ctx.rank, dst=dest, tag=tag,
             payload=self._egress(obj, owned, dest), nbytes=nbytes,
-            arrival=ctx.clock.now, epoch=self.mail_epoch))
+            arrival=ctx.clock.now, epoch=self.mail_epoch, seq=seq))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Receive; the receiver's link serialises ingress.
@@ -349,10 +354,12 @@ class Communicator:
     def _deliver_put(self, ctx: RankContext, name: str, values, dest: int,
                      idx, axis: int, owned: bool, nbytes: int) -> None:
         """Transport half of :meth:`put` (overridden by heap routes)."""
+        seq = trace_writer().send(dest, TAG_PUT, epoch=self.mail_epoch)
         self.mailboxes[dest].put(Message(
             src=ctx.rank, dst=dest, tag=TAG_PUT,
             payload=(name, axis, idx, self._egress(values, owned, dest)),
-            nbytes=nbytes, arrival=ctx.clock.now, epoch=self.mail_epoch))
+            nbytes=nbytes, arrival=ctx.clock.now, epoch=self.mail_epoch,
+            seq=seq))
 
     def fence(self, schedule: Sequence[int]) -> None:
         """Complete one incoming put per source listed in ``schedule``.

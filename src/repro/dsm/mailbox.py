@@ -38,6 +38,12 @@ class Message:
     #: satisfy a later membership's selective receive (the mp.Queue
     #: channels outlive membership switches by design).
     epoch: int = 0
+    #: trace-plane message id: the sender's per-ring send counter,
+    #: stamped at the transport chokepoints when tracing is on.  0 means
+    #: untraced (tracing off, or an internal direct-put) — receivers
+    #: record a flow edge only for a non-zero seq, so the stamp is
+    #: invisible to results either way.
+    seq: int = 0
 
 
 class Mailbox:
@@ -63,12 +69,24 @@ class Mailbox:
         Matching preserves per-(source, tag) FIFO order, which is all the
         collectives and the aggregate protocol rely on.
         """
+        from time import perf_counter
+
+        from repro.trace.plane import tracer as trace_writer
+
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
         with self._cond:
             while True:
                 for i, m in enumerate(self._queue):
                     if ((source == ANY_SOURCE or m.src == source)
                             and (tag == ANY_TAG or m.tag == tag)):
-                        return self._queue.pop(i)
+                        msg = self._queue.pop(i)
+                        # flow edge: the slice duration is the wait this
+                        # receive paid; seq 0 = untraced envelope.
+                        if tr.active and msg.seq > 0:
+                            tr.recv(msg.src, msg.tag, msg.epoch, msg.seq,
+                                    tw0)
+                        return msg
                 if self._closed:
                     raise MailboxClosed(f"mailbox {self.rank} is closed")
                 if not self._cond.wait(timeout):

@@ -51,6 +51,7 @@ from repro.dsm.mailbox import ANY_SOURCE, ANY_TAG, MailboxClosed, Message
 from repro.dsm.transport import QueueTransport, Transport
 from repro.telemetry import schema as _ts
 from repro.telemetry.plane import writer as telemetry_writer
+from repro.trace.plane import tracer as trace_writer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dsm.comm import RankContext
@@ -124,16 +125,24 @@ class ProcessMailbox:
         the full timeout.
         """
         tele = telemetry_writer()
-        if not tele.active:
+        tr = trace_writer()
+        if not tele.active and not tr.active:
             return self._get(source, tag, timeout)
         t0 = time.perf_counter()
         try:
-            return self._get(source, tag, timeout)
+            msg = self._get(source, tag, timeout)
+            # flow edge for the trace plane: the slice duration is the
+            # wait this receive paid (seq 0 = untraced envelope).
+            if tr.active and msg.seq > 0:
+                tr.recv(msg.src, msg.tag, msg.epoch, msg.seq, t0)
+            return msg
         finally:
             # wall time blocked on the channel: the mailbox-wait series
             # (receiver-side skew signal, never charged to vtime).
-            tele.inc(_ts.MAILBOX_WAIT_SECONDS, time.perf_counter() - t0)
-            tele.inc(_ts.MAILBOX_RECVS)
+            if tele.active:
+                tele.inc(_ts.MAILBOX_WAIT_SECONDS,
+                         time.perf_counter() - t0)
+                tele.inc(_ts.MAILBOX_RECVS)
 
     def _get(self, source: int, tag: int,
              timeout: float | None) -> Message:
@@ -335,9 +344,11 @@ class ProcCommunicator(Communicator):
             payload = (name, axis, idx, PUT_APPLIED)
         else:
             payload = (name, axis, idx, self._egress(values, owned, dest))
+        seq = trace_writer().send(dest, TAG_PUT, epoch=self.mail_epoch)
         self.mailboxes[dest].put(Message(
             src=ctx.rank, dst=dest, tag=TAG_PUT, payload=payload,
-            nbytes=nbytes, arrival=ctx.clock.now, epoch=self.mail_epoch))
+            nbytes=nbytes, arrival=ctx.clock.now, epoch=self.mail_epoch,
+            seq=seq))
 
     def _fetch_window(self, ctx: "RankContext", name: str, src: int, idx,
                       axis: int) -> np.ndarray:

@@ -63,6 +63,8 @@ from repro.dsm.procmail import ProcCommunicator, ProcessMailbox
 from repro.dsm.transport import Transport
 from repro.telemetry import schema as _ts
 from repro.telemetry.plane import writer as telemetry_writer
+from repro.trace import schema as _tc
+from repro.trace.plane import tracer as trace_writer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dsm.comm import RankContext
@@ -230,6 +232,9 @@ class SocketTransport(Transport):
         if tele.active:
             tele.inc(_ts.SEND_BYTES_TCP, float(len(blob)))
             tele.inc(_ts.SEND_MSGS_TCP)
+        tr = trace_writer()
+        if tr.active:
+            tr.instant(_tc.TCP_FRAME, a=float(dest), b=float(len(blob)))
 
     # ------------------------------------------------------------------
     # ingress: the progress thread
@@ -273,7 +278,7 @@ class SocketTransport(Transport):
                 msg = Message(src=msg.src, dst=msg.dst, tag=TAG_PUT,
                               payload=(name, axis, idx, PUT_APPLIED),
                               nbytes=msg.nbytes, arrival=msg.arrival,
-                              epoch=msg.epoch)
+                              epoch=msg.epoch, seq=msg.seq)
         self.channels[self.rank].put(msg)
 
     def _serve_window(self, name: str) -> np.ndarray | None:

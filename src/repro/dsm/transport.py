@@ -19,6 +19,14 @@ Keeping the seam this narrow is what lets the whole collective /
 one-sided / movement stack run unchanged over threads, queues, shared
 memory and sockets: a new fabric implements ``endpoints`` and nothing
 above it changes.
+
+The trace plane's cross-rank flow edges ride this seam for free: the
+``(src, dst, tag, epoch, seq)`` message id is stamped into the
+:class:`~repro.dsm.mailbox.Message` envelope at the communicator's send
+chokepoints and read back at the mailbox ``get``s, so every fabric —
+queues, sockets, in-process lists — carries causal edges without any
+transport-specific code.  A transport that re-frames envelopes (the
+socket progress thread's ``PUT_APPLIED`` rewrite) must preserve ``seq``.
 """
 
 from __future__ import annotations

@@ -34,6 +34,7 @@ are shared by all of them.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -44,6 +45,8 @@ from repro.dsm.comm import TAG_COLL
 from repro.elastic.plan import ReshapePlan
 from repro.telemetry import schema as _ts
 from repro.telemetry.plane import writer as telemetry_writer
+from repro.trace import schema as _tc
+from repro.trace.plane import tracer as trace_writer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.context import ExecutionContext
@@ -195,6 +198,8 @@ def execute_moves(ctx: "ExecutionContext", plan: ReshapePlan, comm) -> None:
             fields.append((name, arr, axis, moves))
     schedule: list[int] = []
     tele = telemetry_writer()
+    tr = trace_writer()
+    tw0 = perf_counter() if tr.active else 0.0
     for name, arr, axis, moves in fields:
         comm.win_expose("mv:" + name, arr)
         for mv in moves:
@@ -211,6 +216,8 @@ def execute_moves(ctx: "ExecutionContext", plan: ReshapePlan, comm) -> None:
     finally:
         for name, _arr, _axis, _moves in fields:
             comm.win_drop("mv:" + name)
+    if tr.active:
+        tr.span(_tc.MOVES, tw0, a=ctx.clock().now, b=float(len(schedule)))
 
 
 def refresh_new_members(ctx: "ExecutionContext", plan: ReshapePlan,
@@ -267,11 +274,15 @@ def join_rendezvous(ctx: "ExecutionContext", plan: ReshapePlan,
     move the partitioned regions to their new owners, refresh the
     joiners' root-held state, fence, adopt the new identity.
     """
+    tr = trace_writer()
+    tw0 = perf_counter() if tr.active else 0.0
     comm.barrier()
     execute_moves(ctx, plan, comm)
     refresh_new_members(ctx, plan, comm)
     comm.barrier()
     apply_new_identity(ctx, step, plan, count, machine)
+    if tr.active:
+        tr.span(_tc.RENDEZVOUS, tw0, a=ctx.clock().now, b=float(count))
 
 
 def apply_new_identity(ctx: "ExecutionContext", step: AdaptStep,
@@ -290,6 +301,9 @@ def apply_new_identity(ctx: "ExecutionContext", step: AdaptStep,
                  ranks=plan.new_n, was=plan.old_n,
                  grew=plan.growing)
     telemetry_writer().inc(_ts.RESHAPES)
+    tr = trace_writer()
+    if tr.active:
+        tr.instant(_tc.SWITCH, a=now, b=float(plan.new_n))
     if ctx.rank == 0:
         ctx.reshapes.append(AdaptationRecord(
             at_count=count, from_config=old_config, to_config=step.config,

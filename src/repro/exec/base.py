@@ -110,6 +110,11 @@ class PhaseServices:
     #: ``None`` with telemetry disabled.  Backends that see one create a
     #: telemetry plane per launch and scrape it back into the registry.
     metrics: Any = None
+    #: the run's :class:`~repro.trace.assemble.TraceCollector`, or
+    #: ``None`` with tracing disabled.  Backends that see one create a
+    #: trace plane per launch (ring capacity comes from the collector —
+    #: small in flight-recorder mode) and scrape it back at drain time.
+    trace: Any = None
 
 
 class ExecutionBackend(ABC):
@@ -215,6 +220,38 @@ class ExecutionBackend(ABC):
             return
         try:
             services.metrics.absorb(plane.scrape(include_frozen=True))
+        finally:
+            plane.close()
+
+    def trace_plane(self, services: PhaseServices, max_ranks: int,
+                    launch_id: str | None = None):
+        """The launch's trace plane, or ``None`` when tracing is off.
+
+        Same shape as :meth:`telemetry_plane`: thread substrates get a
+        process-local plane, process substrates a shared segment the
+        children attach by deterministic name.  Ring capacity comes
+        from the run's collector (small in flight-recorder mode).
+        """
+        if services.trace is None:
+            return None
+        from repro.trace import TracePlane
+
+        capacity = services.trace.capacity
+        if launch_id is None:
+            return TracePlane.local(max_ranks, capacity=capacity,
+                                    backend=self.name)
+        return TracePlane.create(launch_id, max_ranks, capacity=capacity,
+                                 backend=self.name)
+
+    def scrape_trace(self, plane, services: PhaseServices) -> None:
+        """Drain-time ring scrape: fold every rank's records — parked
+        and dead ranks included, their rings outlive them in the
+        segment — into the run's collector, then drop the mapping."""
+        if plane is None:
+            return
+        try:
+            services.trace.absorb(plane.scrape(include_frozen=True),
+                                  backend=self.name)
         finally:
             plane.close()
 

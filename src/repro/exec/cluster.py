@@ -108,7 +108,7 @@ class SimClusterBackend(ExecutionBackend):
 
     def launch(self, spec: PhaseSpec, services: PhaseServices
                ) -> PhaseOutcome:
-        from repro import telemetry
+        from repro import telemetry, trace
 
         cluster = SimCluster(spec.config.nranks, services.machine,
                              services.log, start_time=spec.start_vtime)
@@ -120,11 +120,15 @@ class SimClusterBackend(ExecutionBackend):
         # elastic growth land on pre-laid-out pages of the same plane.
         plane = self.telemetry_plane(
             services, max(4 * spec.config.nranks, 64))
+        trplane = self.trace_plane(
+            services, max(4 * spec.config.nranks, 64))
 
         def rank_entry(join: JoinReplay | None = None):
             rankctx = current_rank()
             if plane is not None and rankctx.rank < plane.max_ranks:
                 telemetry.bind(plane.writer(rankctx.rank))
+            if trplane is not None and rankctx.rank < trplane.max_ranks:
+                trace.bind(trplane.writer(rankctx.rank))
             team = self.rank_team(spec, services)
             ctx = None
             try:
@@ -153,6 +157,7 @@ class SimClusterBackend(ExecutionBackend):
                 if team is not None:
                     team.shutdown()
                 telemetry.bind(None)
+                trace.bind(None)
 
         if reshaper is not None:
             reshaper.make_rank_entry = rank_entry
@@ -171,6 +176,7 @@ class SimClusterBackend(ExecutionBackend):
         finally:
             cluster.shutdown()
             self.scrape_telemetry(plane, services)
+            self.scrape_trace(trplane, services)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -34,6 +34,7 @@ the driver contains no mode conditionals at all.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 from repro.ckpt.replay import ReplayState
@@ -98,7 +99,20 @@ class PhaseDriver:
                 entry=entry, entry_args=entry_args, config=config,
                 plan=plan, injector=injector, replay=replay,
                 start_vtime=vtime)
-            out = backend.launch(spec, services)
+            # one phase span on the driver track per launch attempt —
+            # wall-side only, through the collector's own writer (the
+            # driver is not a rank, so it never competes with a rank's
+            # thread-local tracer binding).
+            tracing = services.trace
+            t0 = perf_counter() if tracing is not None else 0.0
+            try:
+                out = backend.launch(spec, services)
+            finally:
+                if tracing is not None:
+                    from repro.trace import schema as _tc
+
+                    tracing.driver.span(_tc.PHASE, t0, a=vtime,
+                                        b=float(len(phases)))
             if out.reshapes:
                 # in-place reshapes (elastic rank transitions, live team
                 # resizes) never unwind; the backend reports them so the
@@ -157,6 +171,16 @@ class PhaseDriver:
                                       "failed"))
             services.log.emit("failure", vtime=out.end_vtime,
                               count=fail.safepoint)
+            if tracing is not None:
+                # the flight-recorder black box: the last-N decoded
+                # records of every rank's ring (the dead rank's ring
+                # outlived it in the launch segment and was scraped by
+                # the backend's drain).  Rides the raised failure and
+                # the assembled document's otherData alike.
+                box = tracing.flight_snapshot()
+                tracing.flights.append({"safepoint": fail.safepoint,
+                                        "rank": fail.rank, "ranks": box})
+                fail.flight = box
             # recovery (this run's or a later one's) must only ever see
             # fully-written files.
             store.flush()

@@ -156,6 +156,12 @@ class _ChildTask:
         #: whether the parent created a telemetry segment for this launch
         #: (children attach it by deterministic name and bind their page).
         self.telemetry = services.metrics is not None
+        #: whether the parent created a trace segment for this launch,
+        #: and the ring capacity children need to map it (the segment
+        #: shape is capacity-dependent; flight-recorder rings are small).
+        self.trace = services.trace is not None
+        self.trace_capacity = (services.trace.capacity
+                               if services.trace is not None else 0)
         #: backend-specific launch plumbing (e.g. the sockets backend's
         #: address-rendezvous queue); filled by ``_launch_extras``.
         self.extras: dict = {}
@@ -492,6 +498,18 @@ def _rank_main(rank: int, task: _ChildTask,
             task.launch_id, task.max_ranks, backend=task.backend.name)
         if not parked:
             telemetry.bind(tplane.writer(rank))
+    trplane = None
+    if getattr(task, "trace", False):
+        from repro import trace
+
+        # same discipline for the trace segment: attach by name, bind
+        # this rank's ring.  The ring outlives the rank in the segment —
+        # that is what the parent's drain scrapes after a crash.
+        trplane = trace.TracePlane.attach(
+            task.launch_id, task.max_ranks,
+            capacity=task.trace_capacity, backend=task.backend.name)
+        if not parked:
+            trace.bind(trplane.writer(rank))
     try:
         while True:
             if parked:
@@ -503,6 +521,10 @@ def _rank_main(rank: int, task: _ChildTask,
                 if tplane is not None:
                     # un-park thaws (or first-activates) the rank's page.
                     telemetry.bind(tplane.writer(rank))
+                if trplane is not None:
+                    from repro import trace
+
+                    trace.bind(trplane.writer(rank))
             status, data, end_vtime, records = _run_rank_segment(
                 rank, task, log, join_payload, plane)
             if status == _RETIRED:
@@ -517,6 +539,17 @@ def _rank_main(rank: int, task: _ChildTask,
                     if w.active:
                         w.freeze()
                     telemetry.bind(None)
+                if trplane is not None:
+                    # same freeze for the rank's trace ring: records
+                    # survive the park and the drain-time scrape sees
+                    # them (include_frozen).
+                    from repro import trace
+                    from repro.trace import tracer as trace_tracer
+
+                    tw = trace_tracer()
+                    if tw.active:
+                        tw.freeze()
+                    trace.bind(None)
                 if not repark:
                     return "retired"
                 parked, join_payload = True, None
@@ -537,6 +570,11 @@ def _rank_main(rank: int, task: _ChildTask,
 
             telemetry.bind(None)
             tplane.close()
+        if trplane is not None:
+            from repro import trace
+
+            trace.bind(None)
+            trplane.close()
         if own_plane and plane is not None:
             plane.close()
 
@@ -669,6 +707,11 @@ class MultiprocessBackend(ExecutionBackend):
         # child can attach it by deterministic name.
         tplane = self.telemetry_plane(services, max_ranks,
                                       launch_id=launch_id)
+        # and the launch's trace segment, same discipline.  Rings belong
+        # to the segment, not the worker: a dead rank's records survive
+        # for the drain-time scrape — the flight recorder's black box.
+        trplane = self.trace_plane(services, max_ranks,
+                                   launch_id=launch_id)
         procs: list = []
         try:
             for r in range(max_ranks):
@@ -697,8 +740,10 @@ class MultiprocessBackend(ExecutionBackend):
             # every worker is joined: the drain-time scrape (parked pages
             # included) is race-free, and the segment can go.
             self.scrape_telemetry(tplane, services)
+            self.scrape_trace(trplane, services)
             self._unlink_segments(spec, launch_id, max_ranks,
-                                  telemetry=tplane is not None)
+                                  telemetry=tplane is not None,
+                                  trace=trplane is not None)
         self._merge_events(services.log, reports, stray_events)
         end = max([spec.start_vtime]
                   + [rep[3] for rep in reports.values() if rep[3] is not None])
@@ -871,13 +916,14 @@ class MultiprocessBackend(ExecutionBackend):
 
     @staticmethod
     def _unlink_segments(spec: PhaseSpec, launch_id: str,
-                         max_ranks: int, telemetry: bool = False) -> None:
+                         max_ranks: int, telemetry: bool = False,
+                         trace: bool = False) -> None:
         """Remove every segment this launch can have created.
 
         Deterministic names make this independent of worker reports, so
         it covers crashed ranks too: field segments by field name, data
         plane slabs over the whole rank x slot name grid, and (when the
-        launch carried one) the telemetry plane's segment.
+        launch carried them) the telemetry and trace plane segments.
         """
         plugset = getattr(spec.woven, "__pp_plugs__", None)
         fields = plugset.partitioned_fields() if plugset is not None else {}
@@ -889,17 +935,23 @@ class MultiprocessBackend(ExecutionBackend):
             from repro.telemetry import unlink_telemetry
 
             unlink_telemetry(launch_id)
+        if trace:
+            from repro.trace import unlink_trace
+
+            unlink_trace(launch_id)
 
     @staticmethod
     def _merge_events(log: EventLog, reports: dict, stray: list) -> None:
         """Interleave every rank's event stream into the runtime log by
         virtual time (stable, so intra-rank order is preserved).
         ``stray`` carries the timelines retired ranks shipped when they
-        re-parked."""
+        re-parked.  Absorbed, not re-emitted: the children's wall/seq
+        stamps are the recoverable cross-rank ordering — restamping
+        parent-side would destroy it."""
         streams = [ev for rep in reports.values() for ev in rep[4]]
         merged = sorted(streams + list(stray), key=lambda ev: ev.vtime)
         for ev in merged:
-            log.emit(ev.kind, vtime=ev.vtime, rank=ev.rank, **ev.data)
+            log.absorb(ev)
 
     # ------------------------------------------------------------------
     def _outcome(self, reports: dict, end: float) -> PhaseOutcome:

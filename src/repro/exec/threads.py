@@ -35,7 +35,7 @@ class ThreadTeamBackend(ExecutionBackend):
 
     def launch(self, spec: PhaseSpec, services: PhaseServices
                ) -> PhaseOutcome:
-        from repro import telemetry
+        from repro import telemetry, trace
 
         team = ThreadTeam(services.machine, size=spec.config.workers,
                           log=services.log)
@@ -45,6 +45,9 @@ class ThreadTeamBackend(ExecutionBackend):
         plane = self.telemetry_plane(services, 1)
         if plane is not None:
             telemetry.bind(plane.writer(0))
+        trplane = self.trace_plane(services, 1)
+        if trplane is not None:
+            trace.bind(trplane.writer(0))
         try:
             ctx = self.make_context(spec, services, team=team)
             ctx.seed_clock(spec.start_vtime)
@@ -62,7 +65,9 @@ class ThreadTeamBackend(ExecutionBackend):
         finally:
             team.shutdown()
             telemetry.bind(None)
+            trace.bind(None)
             self.scrape_telemetry(plane, services)
+            self.scrape_trace(trplane, services)
 
     @staticmethod
     def _end(team: ThreadTeam, spec: PhaseSpec) -> float:

@@ -144,10 +144,12 @@ class FleetBackend(MultiprocessBackend):
                 f"fleet could not supply {n} idle workers for job "
                 f"{self.job} within {self.lease_timeout}s")
         launch_id = shm.new_launch_id(self.job)
-        # per-launch telemetry plane, fleet-wide pages: a grow can
-        # activate any worker, so every potential rank owns a page.
+        # per-launch telemetry/trace planes, fleet-wide pages: a grow
+        # can activate any worker, so every potential rank owns a page.
         tplane = self.telemetry_plane(services, fleet.workers,
                                       launch_id=launch_id)
+        trplane = self.trace_plane(services, fleet.workers,
+                                   launch_id=launch_id)
         self.assignment = dict(enumerate(wids))
         self._pending = {}
         self.current_nranks = n
@@ -187,6 +189,10 @@ class FleetBackend(MultiprocessBackend):
             self.scrape_telemetry(tplane, services)
             if tplane is not None:
                 unlink_telemetry(launch_id)
+            self.scrape_trace(trplane, services)
+            if trplane is not None:
+                from repro.trace import unlink_trace
+                unlink_trace(launch_id)
             # per-job shared-memory names: symmetric heap grid always,
             # launch-named field segments when the arena is off.
             shm.unlink_heaps(launch_id, fleet.workers)

@@ -48,12 +48,15 @@ class ServiceClient:
                min_ranks: int | None = None, max_ranks: int | None = None,
                priority: int = 0, policy=None,
                ckpt_strategy: str = "master",
-               telemetry: bool = True) -> int:
+               telemetry: bool = True,
+               trace: bool | str = False) -> int:
         """Enqueue a job; returns its id (raises on a full queue).
 
         ``telemetry=False`` runs the job without a metrics plane: its
         result carries ``metrics: None`` and nothing is folded into
-        the service-wide registry.
+        the service-wide registry.  ``trace=True`` (or ``"flight"`` for
+        small flight-recorder rings) records the job's timeline; fetch
+        the assembled Chrome trace document with :meth:`trace`.
         """
         base, plugs = _portable_woven(woven)
         request = {
@@ -62,7 +65,7 @@ class ServiceClient:
             "entry_args": tuple(entry_args), "nranks": nranks,
             "min_ranks": min_ranks, "max_ranks": max_ranks,
             "policy": policy, "ckpt_strategy": ckpt_strategy,
-            "telemetry": telemetry,
+            "telemetry": telemetry, "trace": trace,
         }
         reply = self._call({"op": "submit", "request": request,
                             "priority": priority})
@@ -91,6 +94,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._call({"op": "stats"})
+
+    def trace(self, job: int) -> dict:
+        """A finished job's Chrome trace-event document (Perfetto-
+        loadable); the job must have been submitted with ``trace=``."""
+        return self._call({"op": "trace", "job": job})["trace"]
 
     def shutdown(self) -> None:
         self._call({"op": "shutdown"})

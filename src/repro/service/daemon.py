@@ -371,7 +371,8 @@ class RuntimeService:
                          policy=req.get("policy") or self.policy,
                          ckpt_strategy=req.get("ckpt_strategy", "master"),
                          store=store, ledger=ledger, registry=registry,
-                         telemetry=req.get("telemetry", True))
+                         telemetry=req.get("telemetry", True),
+                         trace=req.get("trace", False))
             res = rt.run(woven,
                          ctor_args=tuple(req.get("ctor_args", ())),
                          ctor_kwargs=req.get("ctor_kwargs") or {},
@@ -381,7 +382,8 @@ class RuntimeService:
             job.result = {"value": res.value, "vtime": res.vtime,
                           "relaunches": res.relaunches,
                           "reshapes": len(res.in_place_reshapes),
-                          "metrics": res.metrics}
+                          "metrics": res.metrics,
+                          "trace": res.trace}
             if res.metrics is not None:
                 # fold the job's run into the service-wide registry,
                 # labelled so multi-job aggregates stay attributable.
@@ -443,6 +445,8 @@ class RuntimeService:
                 return self._op_cancel(req)
             if op == "stats":
                 return self._op_stats()
+            if op == "trace":
+                return self._op_trace(req)
             if op == "shutdown":
                 threading.Thread(target=self.stop, daemon=True,
                                  name="svc-stop").start()
@@ -489,6 +493,20 @@ class RuntimeService:
             self.fleet.steer[job.lane].cancel()
             return {"ok": True, "was": "running"}
         return {"ok": True, "was": job.status}
+
+    def _op_trace(self, req: dict) -> dict:
+        """The ``trace`` RPC: a finished job's assembled Chrome trace
+        document (submit the job with ``trace=True``/``"flight"``)."""
+        job = self.queue.get(int(req["job"]))
+        if job is None:
+            return {"ok": False, "error": "no such job"}
+        if not job.done.is_set():
+            return {"ok": False, "error": "job still running"}
+        doc = (job.result or {}).get("trace")
+        if doc is None:
+            return {"ok": False,
+                    "error": "job ran without tracing (trace=False)"}
+        return {"ok": True, "trace": doc}
 
     def _op_stats(self) -> dict:
         """The ``stats`` RPC: a serialized metrics-registry snapshot.

@@ -80,6 +80,10 @@ class JobTicket:
     #: whether the parent created a telemetry plane for this launch —
     #: workers attach their rank page only when told to.
     telemetry: bool = False
+    #: same deal for the trace plane (plus its ring capacity, which
+    #: the attaching worker needs to compute the segment shape).
+    trace: bool = False
+    trace_capacity: int = 0
 
 
 class _FleetWorkerBackend(MultiprocessBackend):
@@ -196,6 +200,8 @@ def _worker_main(boot: _WorkerBoot) -> None:
                 # the boot services carry no registry; the ticket says
                 # whether the job's parent is scraping a plane.
                 task.telemetry = t.telemetry
+                task.trace = t.trace
+                task.trace_capacity = t.trace_capacity
                 if plane is not None:
                     # symmetric heaps are the one per-job plane piece:
                     # window allocations must not collide across jobs.
@@ -398,7 +404,10 @@ class WorkerFleet:
             ckpt_strategy=services.ckpt_strategy, backend=wbackend,
             max_ranks=self.workers, funnel_async=store.is_async,
             funnel_depth=store.writer.depth if store.is_async else 0,
-            telemetry=services.metrics is not None)
+            telemetry=services.metrics is not None,
+            trace=services.trace is not None,
+            trace_capacity=(services.trace.capacity
+                            if services.trace is not None else 0))
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:

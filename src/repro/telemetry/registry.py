@@ -49,6 +49,12 @@ class MetricsRegistry:
         self._help: dict[str, str] = {}
         self._gauge_fns: list[tuple[str, tuple[tuple[str, str], ...],
                                     Callable[[], float]]] = []
+        #: last-seen cumulative values per (source, series) — what makes
+        #: repeated live scrapes of the *same* plane idempotent (only
+        #: the delta since the previous absorb is added).
+        self._seen: dict[tuple[str, Key], float] = {}
+        self._seen_hists: dict[tuple[str, Key],
+                               tuple[float, float, tuple[float, ...]]] = {}
 
     # ------------------------------------------------------------------
     # direct instruments (parent-side)
@@ -85,11 +91,20 @@ class MetricsRegistry:
     # absorption (scrapes + serialized snapshots)
     # ------------------------------------------------------------------
     def absorb(self, samples: Iterable[MetricSample],
-               extra_labels: dict[str, str] | None = None) -> None:
+               extra_labels: dict[str, str] | None = None,
+               source: str | None = None) -> None:
         """Fold scraped samples in: counters/histograms add, gauges set.
 
-        Call once per finished launch (each plane starts at zero, so
-        adding accumulates correctly across a restart/reshape chain).
+        Without ``source``, call once per finished launch (each plane
+        starts at zero, so adding accumulates correctly across a
+        restart/reshape chain).  With ``source`` — a stable identity of
+        the plane being scraped — absorption is **idempotent**: the
+        registry remembers the last cumulative value it saw from that
+        source per series and folds in only the delta, so a live
+        ``serve_metrics()`` poll loop can scrape the same running plane
+        repeatedly without double-counting.  A cumulative value that
+        *shrinks* (the source was reset, e.g. a fresh launch reusing
+        the key) restarts the baseline and absorbs the full value.
         """
         extra = extra_labels or {}
         with self._lock:
@@ -101,6 +116,16 @@ class MetricsRegistry:
                 key = (s.name, s.labels)
                 if s.kind == HISTOGRAM and s.hist is not None:
                     cnt, tot, per = s.hist
+                    if source is not None:
+                        skey = (source, key)
+                        prev = self._seen_hists.get(skey)
+                        self._seen_hists[skey] = (cnt, tot, per)
+                        if prev is not None and prev[0] <= cnt:
+                            cnt -= prev[0]
+                            tot -= prev[1]
+                            per = tuple(a - b for a, b in zip(per, prev[2]))
+                            if cnt == 0.0:
+                                continue
                     old = self._hists.get(key)
                     if old is not None:
                         cnt += old[0]
@@ -110,13 +135,24 @@ class MetricsRegistry:
                 elif s.kind == GAUGE:
                     self._scalars[key] = (GAUGE, s.value)
                 else:
+                    value = s.value
+                    if source is not None:
+                        skey = (source, key)
+                        prev = self._seen.get(skey, 0.0)
+                        self._seen[skey] = value
+                        if prev <= value:
+                            value -= prev
+                        if value == 0.0:
+                            continue
                     _, cur = self._scalars.get(key, (COUNTER, 0.0))
-                    self._scalars[key] = (COUNTER, cur + s.value)
+                    self._scalars[key] = (COUNTER, cur + value)
 
     def absorb_snapshot(self, snap: dict,
-                        extra_labels: dict[str, str] | None = None) -> None:
+                        extra_labels: dict[str, str] | None = None,
+                        source: str | None = None) -> None:
         """Fold a serialized :meth:`snapshot` in (service job results)."""
-        self.absorb(snapshot_samples(snap), extra_labels=extra_labels)
+        self.absorb(snapshot_samples(snap), extra_labels=extra_labels,
+                    source=source)
 
     # ------------------------------------------------------------------
     # lookups (the advisor's measured-rates view reads these)

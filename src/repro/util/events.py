@@ -5,13 +5,29 @@ applied, rank failed, ...) into an :class:`EventLog`.  Tests assert on the
 event stream instead of scraping stdout, and the benchmark harness uses it
 to reconstruct per-iteration timelines (Figure 6 of the paper plots time per
 iteration across a restart — that series comes straight from the log).
+
+Every event is stamped with a monotonic **wall timestamp**
+(``perf_counter`` — CLOCK_MONOTONIC on Linux, one epoch for every
+process on the host) and a process-global **sequence number** at
+emission, so cross-rank ordering is recoverable and the trace plane's
+assembler can place log entries as instants on the same timeline as
+its spans (one source for Figure-6-style per-iteration views).  Both
+stamps are wall-side bookkeeping only: nothing downstream of a virtual
+clock ever reads them, so results stay bit-identical.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterator
+
+#: process-global emission sequence (itertools.count is atomic under
+#: the GIL; the per-process stream pairs with ``wall`` for cross-rank
+#: ordering).
+_seq = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -20,11 +36,16 @@ class Event:
 
     ``vtime`` is the virtual time of the emitting rank at emission; ``kind``
     is a short machine-readable tag; ``data`` carries kind-specific fields.
+    ``wall`` is the monotonic wall clock at emission and ``seq`` the
+    emitting process's global emission number (0/0 on events built by
+    hand rather than through :meth:`EventLog.emit`).
     """
 
     kind: str
     vtime: float
     rank: int = 0
+    wall: float = 0.0
+    seq: int = 0
     data: dict[str, Any] = field(default_factory=dict)
 
 
@@ -36,7 +57,19 @@ class EventLog:
         self._lock = threading.Lock()
 
     def emit(self, kind: str, vtime: float = 0.0, rank: int = 0, **data: Any) -> Event:
-        ev = Event(kind=kind, vtime=vtime, rank=rank, data=dict(data))
+        ev = Event(kind=kind, vtime=vtime, rank=rank, wall=perf_counter(),
+                   seq=next(_seq), data=dict(data))
+        with self._lock:
+            self._events.append(ev)
+        return ev
+
+    def absorb(self, ev: Event) -> Event:
+        """Append an event emitted elsewhere, keeping its stamps.
+
+        The multiprocess backends merge rank timelines through this:
+        re-emitting would overwrite the child's wall/seq stamps with
+        parent-side ones and destroy the recoverable ordering.
+        """
         with self._lock:
             self._events.append(ev)
         return ev

@@ -295,6 +295,82 @@ class TestBackendParity:
 
 
 # ---------------------------------------------------------------------------
+# idempotent mid-run scrapes: source-keyed delta absorption
+# ---------------------------------------------------------------------------
+class TestIdempotentScrapes:
+    def _plane(self, n=10):
+        plane = TelemetryPlane.local(1, backend="idem")
+        w = plane.writer(0)
+        for _ in range(n):
+            w.inc(schema.SAFEPOINTS)
+            w.observe(schema.SAFEPOINT_LATENCY, OBS)
+        return plane, w
+
+    def test_same_scrape_absorbed_twice_counts_once(self):
+        plane, w = self._plane(10)
+        reg = MetricsRegistry()
+        snap = plane.scrape()
+        reg.absorb(snap, source="live")
+        reg.absorb(snap, source="live")  # a poll loop re-reading
+        assert reg.value("repro_exec_safepoints_total") == 10
+        count, total = reg.hist_totals(
+            "repro_exec_safepoint_latency_seconds")
+        assert (count, total) == (10, OBS * 10)
+
+        # progress between polls folds in exactly the delta
+        for _ in range(5):
+            w.inc(schema.SAFEPOINTS)
+            w.observe(schema.SAFEPOINT_LATENCY, OBS)
+        reg.absorb(plane.scrape(), source="live")
+        reg.absorb(plane.scrape(), source="live")
+        assert reg.value("repro_exec_safepoints_total") == 15
+        assert reg.hist_totals(
+            "repro_exec_safepoint_latency_seconds")[0] == 15
+
+    def test_shrunk_cumulative_restarts_baseline(self):
+        """A fresh launch reusing the source key starts its counters at
+        zero again: the full new value absorbs, never a negative delta."""
+        reg = MetricsRegistry()
+        plane, _w = self._plane(10)
+        reg.absorb(plane.scrape(), source="live")
+        fresh, _w2 = self._plane(4)  # new plane, same source identity
+        reg.absorb(fresh.scrape(), source="live")
+        assert reg.value("repro_exec_safepoints_total") == 14
+
+    def test_without_source_stays_additive(self):
+        """The launch-drain contract is unchanged: absorbing the same
+        finished plane twice without a source double-counts (callers
+        absorb each launch exactly once)."""
+        plane, _w = self._plane(10)
+        reg = MetricsRegistry()
+        snap = plane.scrape()
+        reg.absorb(snap)
+        reg.absorb(snap)
+        assert reg.value("repro_exec_safepoints_total") == 20
+
+    def test_sources_are_independent(self):
+        plane, _w = self._plane(10)
+        reg = MetricsRegistry()
+        snap = plane.scrape()
+        reg.absorb(snap, source="a")
+        reg.absorb(snap, source="b")  # a different plane's identity
+        assert reg.value("repro_exec_safepoints_total") == 20
+        reg.absorb(snap, source="a")  # but each source dedups itself
+        reg.absorb(snap, source="b")
+        assert reg.value("repro_exec_safepoints_total") == 20
+
+    def test_snapshot_absorb_with_source(self):
+        plane, _w = self._plane(10)
+        live = MetricsRegistry()
+        live.absorb(plane.scrape())
+        snap = live.snapshot()
+        reg = MetricsRegistry()
+        reg.absorb_snapshot(snap, source="svc")
+        reg.absorb_snapshot(snap, source="svc")
+        assert reg.snapshot() == snap
+
+
+# ---------------------------------------------------------------------------
 # advisor coupling: measured rates flip the reshape-vs-relaunch ranking
 # ---------------------------------------------------------------------------
 class TestMeasuredRates:
