@@ -23,8 +23,14 @@ Implements the paper's Section IV.A machinery:
 * :class:`AsyncCheckpointWriter` — double-buffered background writer so
   the safe point pays only an in-memory copy; ``flush()`` is the
   durability barrier at adaptation/failure boundaries.
+* :class:`CasCheckpointStore` + :class:`ChunkStore` — the checkpoint
+  object store: content-defined chunking into a refcounted dedup CAS
+  shared across shards, namespaces and jobs, with recipe checkpoints,
+  parallel chunk-fetch restores and mark-and-sweep GC.
 """
 
+from repro.ckpt.cas import CasCheckpointStore, ChunkCorrupt, ChunkStore
+from repro.ckpt.chunker import ChunkParams
 from repro.ckpt.delta import IncrementalCheckpointStore
 from repro.ckpt.failure import FailureInjector, InjectedFailure
 from repro.ckpt.policy import (
@@ -50,8 +56,12 @@ __all__ = [
     "AsyncCheckpointWriter",
     "AsyncWriteFailed",
     "AtCounts",
+    "CasCheckpointStore",
     "CheckpointPolicy",
     "CheckpointStore",
+    "ChunkCorrupt",
+    "ChunkParams",
+    "ChunkStore",
     "EveryN",
     "FailureInjector",
     "IncrementalCheckpointStore",

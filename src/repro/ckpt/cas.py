@@ -1,0 +1,568 @@
+"""The checkpoint object store: chunk recipes over a dedup CAS.
+
+:class:`CasCheckpointStore` keeps checkpoint *payloads* out of the
+checkpoint *files*.  Each field's portable encoding is split at
+content-defined boundaries (:mod:`repro.ckpt.chunker`) and the pieces
+land in a :class:`ChunkStore` — one file per distinct chunk, keyed by
+content digest.  The checkpoint file itself becomes a **recipe**: the
+ordinary envelope container with no sections, whose header maps every
+field to its ordered ``(digest, length)`` chunk refs.
+
+What that buys over the delta store:
+
+* **sub-field writes** — touch one array element and only the chunks
+  around it get new digests; the rest of the field re-references bytes
+  already on disk.  The delta store's unit of change is a whole field.
+* **cross-everything dedup** — the CAS is shared by the master store,
+  its per-rank shards, and every job namespace in the directory.  A
+  STRATEGY_LOCAL save writes one full-shape array per rank; the
+  regions a rank doesn't own are byte-identical across shards and
+  store once.  A second job checkpointing the same state stores almost
+  nothing.
+* **self-contained restores** — a recipe needs no chain: any recipe
+  plus the CAS is a complete state, so corruption never cascades and
+  chunk fetches parallelise freely (:meth:`CasCheckpointStore.read`
+  fans out over a small thread pool; shard reassembly fans out over
+  shards too).
+
+Unchanged fields are detected by the delta store's value hash — one
+streaming pass off the array buffer, against the previous write's
+baseline — so steady-state saves re-chunk only the fields that moved;
+everything else is a recipe ref reuse with zero hashing of chunk
+bytes.
+
+Durability ordering: chunk files are written (each atomically) before
+the recipe that references them, so a crash can orphan chunks but
+never publish a recipe with missing bytes.  Orphans are reclaimed by
+:meth:`CasCheckpointStore.gc` — mark (scan every recipe file in the
+directory, namespaces and shards included) and sweep (delete chunks
+nothing references).  The in-memory refcounts are bookkeeping for the
+fast path and the stats surface; the disk scan is authoritative, so GC
+is correct across process restarts and crashes.  GC runs on anchor
+retirement (:meth:`prune`/:meth:`clear`) and on service job-namespace
+teardown.
+
+Every chunk read is digest-verified after decompression, so a flipped
+bit on disk is detected *per chunk* and named per field
+(:meth:`verify`); ``read_latest`` then degrades to the previous
+checkpoint exactly as it does for a torn full snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterable
+
+from repro.ckpt.chunker import DEFAULT_PARAMS, ChunkParams, chunk_digest, chunk_refs
+from repro.ckpt.delta import content_hash_value
+from repro.ckpt.snapshot import (
+    KIND_FULL,
+    KIND_RECIPE,
+    Snapshot,
+    SnapshotCorrupt,
+    decode_envelope,
+    encode_container,
+)
+from repro.ckpt.store import CheckpointStore
+from repro.ckpt.writer import atomic_write_bytes
+from repro.util.serialization import dumps_portable, loads_portable, pack_section, unpack_section
+
+#: any recipe/checkpoint file in a shared directory — master, namespaced
+#: and sharded forms alike.  GC's mark phase scans them all: the CAS
+#: under a directory is one store for every sub-store above it.
+_ANY_PCR_RE = re.compile(r"^ckpt_\d{9}(\.j\w+)?(\.r\d+)?\.pcr$")
+
+#: restore fan-out width.  Checkpoint chunks are a few KiB each, so the
+#: win is overlapping read syscalls and zlib inflate; a handful of
+#: threads saturates that long before it saturates a disk.
+FETCH_WORKERS = 4
+
+
+class ChunkCorrupt(SnapshotCorrupt):
+    """A chunk is missing, torn, or fails its content digest."""
+
+
+class ChunkStore:
+    """Flat content-addressed chunk files under ``<dir>``.
+
+    One file per distinct chunk at ``<digest[:2]>/<digest>.chunk``: a
+    flag byte (the section transform negotiated by
+    :func:`~repro.util.serialization.pack_section`) followed by the
+    stored payload.  Writes are atomic and idempotent — the digest IS
+    the identity, so concurrent writers of the same chunk race
+    harmlessly to identical bytes.  Thread-safe throughout; reads are
+    digest-verified after undoing the storage transform.
+    """
+
+    def __init__(self, directory: str | os.PathLike,
+                 compress_min_bytes: int | None = None) -> None:
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.compress_min_bytes = compress_min_bytes
+        self._lock = threading.Lock()
+        #: live references: digest -> times referenced by written
+        #: recipes.  Advisory (rebuilt by every GC mark phase).
+        self._refs: Counter[str] = Counter()
+        # cumulative traffic counters (the telemetry surface).
+        self.chunks_stored = 0
+        self.bytes_stored = 0
+        self.chunks_deduped = 0
+        self.bytes_deduped = 0
+        self.chunks_swept = 0
+        self.bytes_swept = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        return self.dir / digest[:2] / f"{digest}.chunk"
+
+    def has(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def missing(self, digests: Iterable[str]) -> list[str]:
+        """The subset of ``digests`` not yet stored (order kept, deduped)."""
+        out, seen = [], set()
+        for d in digests:
+            if d not in seen and not self.has(d):
+                out.append(d)
+            seen.add(d)
+        return out
+
+    # ------------------------------------------------------------------
+    def put(self, digest: str, payload) -> tuple[bool, int]:
+        """Store one chunk; returns ``(newly_stored, stored_nbytes)``.
+
+        A present digest is a dedup hit: nothing is written, the raw
+        length counts as bytes saved.
+        """
+        path = self.path_for(digest)
+        if path.exists():
+            with self._lock:
+                self.chunks_deduped += 1
+                self.bytes_deduped += len(payload)
+            return False, path.stat().st_size
+        flags, stored = pack_section(bytes(payload), self.compress_min_bytes)
+        data = bytes([flags]) + stored
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, data)
+        with self._lock:
+            self.chunks_stored += 1
+            self.bytes_stored += len(data)
+        return True, len(data)
+
+    def fetch(self, digest: str) -> tuple[bytes, int]:
+        """One chunk's payload and its stored (on-disk) size.
+
+        Raises :class:`ChunkCorrupt` when the file is absent, torn, or
+        its decompressed bytes no longer hash to ``digest``.
+        """
+        try:
+            data = self.path_for(digest).read_bytes()
+        except OSError as exc:
+            raise ChunkCorrupt(f"chunk {digest} missing from CAS") from exc
+        if not data:
+            raise ChunkCorrupt(f"chunk {digest} is empty on disk")
+        try:
+            payload = unpack_section(data[0], data[1:])
+        except Exception as exc:  # zlib.error on a flipped bit
+            raise ChunkCorrupt(
+                f"chunk {digest} failed to decode: {exc}") from exc
+        if chunk_digest(payload) != digest:
+            raise ChunkCorrupt(f"chunk {digest} failed content verification")
+        return payload, len(data)
+
+    def get(self, digest: str) -> bytes:
+        return self.fetch(digest)[0]
+
+    # ------------------------------------------------------------------
+    def incref(self, digests: Iterable[str]) -> None:
+        with self._lock:
+            self._refs.update(digests)
+
+    def decref(self, digests: Iterable[str]) -> None:
+        with self._lock:
+            self._refs.subtract(digests)
+            self._refs += Counter()  # drop keys at zero
+
+    def refcount(self, digest: str) -> int:
+        with self._lock:
+            return self._refs[digest]
+
+    # ------------------------------------------------------------------
+    def digests(self) -> set[str]:
+        """Every chunk currently on disk."""
+        out = set()
+        for sub in self.dir.iterdir():
+            if not sub.is_dir():
+                continue
+            for f in sub.iterdir():
+                if f.suffix == ".chunk":
+                    out.add(f.stem)
+        return out
+
+    def stored_bytes(self) -> int:
+        """On-disk footprint of every stored chunk."""
+        total = 0
+        for sub in self.dir.iterdir():
+            if not sub.is_dir():
+                continue
+            for f in sub.iterdir():
+                if f.suffix == ".chunk":
+                    try:
+                        total += f.stat().st_size
+                    except OSError:
+                        pass
+        return total
+
+    def sweep(self, live: set[str]) -> tuple[int, int]:
+        """Delete every chunk not in ``live``; ``(chunks, bytes)`` freed.
+
+        The refcounts are reset to the mark result — the disk scan, not
+        the counter, decides what dies, so a counter lost to a restart
+        can never leak or over-free chunks.
+        """
+        n = nbytes = 0
+        for digest in self.digests() - live:
+            path = self.path_for(digest)
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            n += 1
+            nbytes += size
+        with self._lock:
+            self._refs = Counter({d: c for d, c in self._refs.items()
+                                  if d in live and c > 0})
+            self.chunks_swept += n
+            self.bytes_swept += nbytes
+        return n, nbytes
+
+
+class CasCheckpointStore(CheckpointStore):
+    """Checkpoint store writing chunk recipes against a shared CAS.
+
+    Drop-in for :class:`~repro.ckpt.store.CheckpointStore`: same file
+    naming, pruning, shard and namespace mechanics — but ``write``
+    emits a recipe plus the chunks the CAS lacks, and ``read`` fetches
+    and verifies chunks on a thread pool.  Shards and namespaces share
+    the parent's :class:`ChunkStore`, which is where the cross-rank and
+    cross-job dedup comes from.
+    """
+
+    def __init__(self, directory: str | os.PathLike,
+                 chunk_params: ChunkParams = DEFAULT_PARAMS,
+                 compress_min_bytes: int | None = None,
+                 shard_suffix: str = "", ns_suffix: str = "",
+                 cas: ChunkStore | None = None,
+                 fetch_workers: int = FETCH_WORKERS) -> None:
+        super().__init__(directory, compress_min_bytes=compress_min_bytes,
+                         shard_suffix=shard_suffix, ns_suffix=ns_suffix)
+        #: boundary policy — also shipped to funnel workers so they chunk
+        #: identically to the parent (digest equality is the protocol).
+        self.chunk_params = chunk_params
+        self.cas = cas if cas is not None \
+            else ChunkStore(self.dir / "cas",
+                            compress_min_bytes=compress_min_bytes)
+        self.fetch_workers = max(1, fetch_workers)
+        #: change-detection baseline: field -> (value hash, chunk refs).
+        #: Volatile, like the delta store's — losing it to a restart
+        #: just means the next write re-chunks everything it still has.
+        self._base: dict[str, tuple[bytes, list[tuple[str, int]]]] = {}
+        #: per-write stats (mirrored into telemetry by the context).
+        self.last_write_stats: dict[str, int] | None = None
+        #: restore-side counters (scraped as runtime gauges).
+        self.last_restore_fetches = 0
+        self.restore_fetches_total = 0
+        self.restore_seconds_total = 0.0
+
+    # ------------------------------------------------------------------
+    def _make_shard(self, rank: int) -> "CasCheckpointStore":
+        return CasCheckpointStore(
+            self.dir, chunk_params=self.chunk_params,
+            compress_min_bytes=self.compress_min_bytes,
+            shard_suffix=f".r{rank}", ns_suffix=self.ns_suffix,
+            cas=self.cas, fetch_workers=self.fetch_workers)
+
+    def _make_namespace(self, ns_suffix: str) -> "CasCheckpointStore":
+        return CasCheckpointStore(
+            self.dir, chunk_params=self.chunk_params,
+            compress_min_bytes=self.compress_min_bytes,
+            ns_suffix=ns_suffix, cas=self.cas,
+            fetch_workers=self.fetch_workers)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write(self, snap: Snapshot) -> Path:
+        from repro.trace import schema as _tc
+        from repro.trace.plane import tracer as trace_writer
+
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
+        stats = {"chunks_new": 0, "chunks_dedup": 0, "dedup_saved_bytes": 0}
+        new_bytes = 0
+        recipe: dict[str, list[list]] = {}
+        base: dict[str, tuple[bytes, list[tuple[str, int]]]] = {}
+        for name, value in snap.fields.items():
+            vhash = content_hash_value(value)
+            cached = self._base.get(name)
+            if cached is not None and cached[0] == vhash:
+                # unchanged field: reuse the previous recipe's refs —
+                # no encode, no re-chunk, no per-chunk hashing.
+                refs = cached[1]
+                stats["chunks_dedup"] += len(refs)
+                stats["dedup_saved_bytes"] += sum(ln for _, ln in refs)
+            else:
+                blob = dumps_portable(value)
+                mv = memoryview(blob)
+                refs = []
+                for digest, a, b in chunk_refs(blob, self.chunk_params):
+                    new, stored = self.cas.put(digest, mv[a:b])
+                    if new:
+                        stats["chunks_new"] += 1
+                        new_bytes += stored
+                    else:
+                        stats["chunks_dedup"] += 1
+                        stats["dedup_saved_bytes"] += b - a
+                    refs.append((digest, b - a))
+            recipe[name] = [[d, ln] for d, ln in refs]
+            base[name] = (vhash, [(d, ln) for d, ln in refs])
+        self._base = base
+        path = self._commit_recipe(snap.header(KIND_RECIPE), recipe,
+                                   snap.safepoint_count, new_bytes, stats)
+        if tr.active:
+            tr.span(_tc.CKPT_CHUNK, tw0,
+                    a=float(stats["chunks_new"]),
+                    b=float(stats["chunks_dedup"]))
+        return path
+
+    def _commit_recipe(self, header: dict, recipe: dict,
+                       count: int, new_chunk_bytes: int,
+                       stats: dict[str, int]) -> Path:
+        """Persist one recipe (chunks are already durable) + accounting."""
+        header["recipe"] = recipe
+        header["fields"] = list(recipe)
+        data = encode_container(header, {}, None)
+        self.cas.incref(d for refs in recipe.values() for d, _ in refs)
+        # what this checkpoint actually cost the disk: the recipe plus
+        # only the chunks that weren't already stored.
+        self.last_write_nbytes = len(data) + new_chunk_bytes
+        self.last_write_kind = KIND_RECIPE
+        self.total_bytes_written += self.last_write_nbytes
+        self.last_write_stats = dict(stats)
+        self._put(self.path_for(count), data)
+        return self.path_for(count)
+
+    def write_chunked(self, header: dict, recipe: dict,
+                      chunks: dict[str, bytes]) -> Path:
+        """Funnel ingest: a worker-chunked recipe + the missing chunks.
+
+        ``chunks`` carries only the payloads the worker's presence
+        handshake found absent; each is digest-verified before storage
+        (the funnel crosses process/wire boundaries).  A referenced
+        digest that is neither stored nor shipped — the handshake lost
+        a race against GC — raises :class:`ChunkCorrupt`, which the
+        worker answers by resending everything.
+        """
+        stats = {"chunks_new": 0, "chunks_dedup": 0, "dedup_saved_bytes": 0}
+        new_bytes = 0
+        for digest, payload in chunks.items():
+            if chunk_digest(payload) != digest:
+                raise ChunkCorrupt(
+                    f"funnelled chunk {digest} failed content verification")
+            new, stored = self.cas.put(digest, payload)
+            if new:
+                stats["chunks_new"] += 1
+                new_bytes += stored
+        for name, refs in recipe.items():
+            for digest, length in refs:
+                if digest in chunks:
+                    continue
+                if not self.cas.has(digest):
+                    raise ChunkCorrupt(
+                        f"CAS_CHUNK_MISSING: chunk {digest} of field "
+                        f"{name!r} vanished between handshake and write")
+                stats["chunks_dedup"] += 1
+                stats["dedup_saved_bytes"] += length
+        # worker-side recipes can't seed this store's baseline (the
+        # value hashes live with the worker), so drop any stale one.
+        self._base = {}
+        return self._commit_recipe(header, recipe,
+                                   int(header["safepoint_count"]),
+                                   new_bytes, stats)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read(self, count: int) -> Snapshot:
+        data = self.path_for(count).read_bytes()
+        header, _sections = decode_envelope(data)
+        if header.get("kind", KIND_FULL) != KIND_RECIPE:
+            # plain files (a store switched to CAS mid-directory) still
+            # read; their payload is inline, not chunked.
+            snap = Snapshot.decode(data)
+            snap.meta["disk_nbytes"] = len(data)
+            return snap
+        from repro.trace import schema as _tc
+        from repro.trace.plane import tracer as trace_writer
+
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
+        t0 = perf_counter()
+        recipe = header.get("recipe")
+        if not isinstance(recipe, dict):
+            raise SnapshotCorrupt(f"recipe missing from checkpoint {count}")
+        payloads, stored_nbytes = self._fetch_chunks(
+            {d for refs in recipe.values() for d, _ in refs})
+        fields: dict[str, Any] = {}
+        for name in header["fields"]:
+            parts = [payloads[d] for d, _ in recipe[name]]
+            for part in parts:
+                if isinstance(part, self._Missing):
+                    raise SnapshotCorrupt(
+                        f"field {name!r} of checkpoint {count} lost a "
+                        f"chunk: {part.exc}") from part.exc
+            try:
+                fields[name] = loads_portable(b"".join(parts))
+            except Exception as exc:
+                raise SnapshotCorrupt(
+                    f"field {name!r} of checkpoint {count} failed to "
+                    f"decode: {exc}") from exc
+        self.last_restore_fetches = len(payloads)
+        self.restore_fetches_total += len(payloads)
+        self.restore_seconds_total += perf_counter() - t0
+        snap = Snapshot(app=header["app"],
+                        safepoint_count=header["safepoint_count"],
+                        fields=fields, mode=header["mode"],
+                        meta=header["meta"])
+        snap.meta["disk_nbytes"] = len(data) + stored_nbytes
+        snap.meta["cas_fetches"] = len(payloads)
+        if tr.active:
+            tr.span(_tc.CKPT_FETCH, tw0, a=float(len(payloads)),
+                    b=float(count))
+        return snap
+
+    class _Missing:
+        """Sentinel carrying the fetch failure for one digest."""
+
+        def __init__(self, exc: ChunkCorrupt) -> None:
+            self.exc = exc
+
+    def _fetch_chunks(self, digests: set[str]
+                      ) -> tuple[dict[str, bytes], int]:
+        """Fetch unique chunks on the pool; ``(digest -> payload, bytes)``.
+
+        A failed chunk maps to a :class:`_Missing` sentinel so one bad
+        chunk poisons only the fields that reference it — the caller
+        decides per field.
+        """
+        payloads: dict[str, Any] = {}
+        stored = 0
+        ordered = sorted(digests)
+        with ThreadPoolExecutor(
+                max_workers=min(self.fetch_workers, max(1, len(ordered))),
+                thread_name_prefix="cas-fetch") as pool:
+            for digest, result in zip(ordered,
+                                      pool.map(self._fetch_one, ordered)):
+                if isinstance(result, self._Missing):
+                    payloads[digest] = result
+                else:
+                    payloads[digest] = result[0]
+                    stored += result[1]
+        return payloads, stored
+
+    def _fetch_one(self, digest: str):
+        try:
+            return self.cas.fetch(digest)
+        except ChunkCorrupt as exc:
+            return self._Missing(exc)
+
+    def _read_shards(self, count: int, nranks: int) -> list[Snapshot]:
+        """Shard reassembly fan-out: all non-root shards in parallel.
+
+        Each shard read already parallelises its own chunk fetches; the
+        outer pool overlaps the per-shard recipe decode and field
+        assembly on top.
+        """
+        if nranks <= 2:
+            return super()._read_shards(count, nranks)
+        with ThreadPoolExecutor(
+                max_workers=min(self.fetch_workers, nranks - 1),
+                thread_name_prefix="cas-shard") as pool:
+            return list(pool.map(lambda r: self.shard(r).read(count),
+                                 range(1, nranks)))
+
+    # ------------------------------------------------------------------
+    def verify(self, count: int) -> list[str]:
+        """Names of fields whose chunks fail verification at ``count``.
+
+        The corruption-isolation contract: flipping one byte of one
+        stored chunk damages exactly the fields referencing that chunk
+        — everything else still restores.
+        """
+        header, _ = decode_envelope(self.path_for(count).read_bytes())
+        if header.get("kind", KIND_FULL) != KIND_RECIPE:
+            return []
+        recipe = header["recipe"]
+        bad: set[str] = set()
+        for digest in {d for refs in recipe.values() for d, _ in refs}:
+            try:
+                self.cas.fetch(digest)
+            except ChunkCorrupt:
+                bad.add(digest)
+        return sorted(name for name, refs in recipe.items()
+                      if any(d in bad for d, _ in refs))
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def live_digests(self) -> set[str]:
+        """Mark phase: every digest any recipe in the directory needs.
+
+        Scans *all* checkpoint files — other namespaces' and shards'
+        included — because the CAS is shared by all of them; a digest is
+        dead only when nobody at all references it.
+        """
+        live: set[str] = set()
+        for name in os.listdir(self.dir):
+            if not _ANY_PCR_RE.match(name):
+                continue
+            try:
+                header, _ = decode_envelope((self.dir / name).read_bytes())
+            except (SnapshotCorrupt, OSError):
+                continue  # torn recipe: its refs die with it
+            for refs in header.get("recipe", {}).values():
+                live.update(d for d, _ in refs)
+        return live
+
+    def gc(self) -> tuple[int, int]:
+        """Mark-and-sweep unreferenced chunks; ``(chunks, bytes)`` freed."""
+        from repro.trace import schema as _tc
+        from repro.trace.plane import tracer as trace_writer
+
+        tr = trace_writer()
+        tw0 = perf_counter() if tr.active else 0.0
+        self.flush()  # recipes queued on an async writer must count
+        swept = self.cas.sweep(self.live_digests())
+        if tr.active:
+            tr.span(_tc.CKPT_GC, tw0, a=float(swept[0]), b=float(swept[1]))
+        return swept
+
+    def unreferenced(self) -> set[str]:
+        """Chunks on disk no recipe references (empty unless GC is due)."""
+        return self.cas.digests() - self.live_digests()
+
+    def prune(self, keep: int = 1) -> None:
+        super().prune(keep)
+        self.gc()
+
+    def clear(self) -> None:
+        super().clear()
+        self._base = {}
+        self.gc()

@@ -26,6 +26,19 @@ is synchronous (the worker blocks on the ack), so the slab borrow is
 bounded and the field values the parent encodes are exactly the
 captured ones; checkpoint bytes are bit-identical with and without the
 plane.
+
+When the master store is a :class:`~repro.ckpt.cas.CasCheckpointStore`
+the funnel speaks **chunk refs** instead of snapshots: the worker
+chunks and hashes its fields locally (skipping unchanged fields via a
+value-hash baseline), asks the parent which digests its CAS lacks
+(``_OP_MISSING`` — the presence handshake), and ships *only those
+chunk payloads* with the recipe.  Replicated SafeData and halo/stale
+regions other ranks already funnelled are never transferred at all —
+cross-rank dedup happens on the wire, not just on the disk.  The
+parent digest-verifies every shipped chunk before storing it; if a
+referenced chunk vanished between handshake and write (a GC race) the
+ack carries a ``CAS_CHUNK_MISSING`` marker and the worker retries once
+with every chunk payload inline.
 """
 
 from __future__ import annotations
@@ -34,18 +47,25 @@ import queue as _queue
 import threading
 import traceback
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
-from repro.ckpt.snapshot import KIND_FULL, Snapshot
+from repro.ckpt.snapshot import FORMAT_VERSION, KIND_FULL, KIND_RECIPE, Snapshot
 from repro.dsm.shm import PoolClient, ShmRef
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.ckpt.chunker import ChunkParams
     from repro.ckpt.store import CheckpointStore
     from repro.dsm.shm import DataPlane
 
 _OP_WRITE = "write"
 _OP_FLUSH = "flush"
 _OP_STOP = "stop"
+_OP_MISSING = "missing"
+
+#: marker the parent's ChunkCorrupt carries when a handshake raced GC;
+#: the worker sees it in the error ack and retries with all chunks.
+CAS_CHUNK_MISSING = "CAS_CHUNK_MISSING"
 
 
 @dataclass
@@ -80,6 +100,55 @@ class PackedSnapshot:
 
 
 @dataclass
+class ChunkedSnapshot:
+    """A worker-chunked checkpoint: recipe refs + missing chunk payloads.
+
+    ``field_refs`` is the complete recipe (field -> ordered
+    ``(digest, length)`` refs); only the chunks the parent's presence
+    handshake reported absent travel with it.  Inline transport carries
+    them as ``chunks`` (digest -> bytes); with a data plane they ride
+    one concatenated slab buffer (``chunk_data`` + the ``chunk_index``
+    that slices it back apart).
+    """
+
+    app: str
+    safepoint_count: int
+    mode: str
+    meta: dict[str, Any]
+    field_refs: dict[str, list]
+    chunks: dict[str, bytes] | None = None
+    chunk_index: list | None = None
+    chunk_data: Any = None
+
+    def header(self) -> dict:
+        return {
+            "version": FORMAT_VERSION,
+            "kind": KIND_RECIPE,
+            "app": self.app,
+            "safepoint_count": self.safepoint_count,
+            "mode": self.mode,
+            "meta": self.meta,
+            "fields": list(self.field_refs),
+        }
+
+    def resolve_chunks(self, client: PoolClient) -> dict[str, bytes]:
+        """The shipped chunk payloads, whichever way they travelled."""
+        if self.chunks is not None:
+            return self.chunks
+        if not self.chunk_index:
+            return {}
+        data = self.chunk_data
+        if isinstance(data, ShmRef):
+            data = client.fetch(data)
+        buf = data.tobytes() if hasattr(data, "tobytes") else bytes(data)
+        out, off = {}, 0
+        for digest, length in self.chunk_index:
+            out[digest] = buf[off:off + length]
+            off += length
+        return out
+
+
+@dataclass
 class _WriterShim:
     """Enough of ``AsyncCheckpointWriter`` for the cost model's view."""
 
@@ -103,7 +172,8 @@ class CheckpointFunnel:
         return FunnelStore(
             rank=rank, requests=self.requests, ack=self.acks[rank],
             is_async=self.store.is_async,
-            depth=self.store.writer.depth if self.store.is_async else 0)
+            depth=self.store.writer.depth if self.store.is_async else 0,
+            chunk_params=getattr(self.store, "chunk_params", None))
 
     def start(self) -> None:
         """Begin serving; call *after* worker processes are spawned so a
@@ -137,19 +207,31 @@ class CheckpointFunnel:
         base = self.store if store is None else store
         try:
             if op == _OP_WRITE:
-                if isinstance(payload, PackedSnapshot):
-                    payload = payload.unpack(self._client)
                 target = (base if shard_rank is None
                           else base.shard(shard_rank))
-                target.write(payload)
+                if isinstance(payload, ChunkedSnapshot):
+                    target.write_chunked(payload.header(),
+                                         payload.field_refs,
+                                         payload.resolve_chunks(self._client))
+                else:
+                    if isinstance(payload, PackedSnapshot):
+                        payload = payload.unpack(self._client)
+                    target.write(payload)
                 return ("ok", target.last_write_nbytes,
-                        target.last_write_kind)
+                        target.last_write_kind,
+                        getattr(target, "last_write_stats", None))
+            if op == _OP_MISSING:
+                # the CAS presence handshake: which digests must ship?
+                cas = getattr(base, "cas", None)
+                if cas is None:
+                    return ("error", "master store has no CAS", None, None)
+                return ("ok", cas.missing(payload), KIND_FULL, None)
             if op == _OP_FLUSH:
                 base.flush()
-                return ("ok", 0, KIND_FULL)
-            return ("error", f"unknown funnel op {op!r}", None)
+                return ("ok", 0, KIND_FULL, None)
+            return ("error", f"unknown funnel op {op!r}", None, None)
         except Exception:  # noqa: BLE001 - worker must not hang on us
-            return ("error", traceback.format_exc(), None)
+            return ("error", traceback.format_exc(), None, None)
 
     def _serve(self) -> None:
         while True:
@@ -172,7 +254,8 @@ class FunnelStore:
     """
 
     def __init__(self, rank: int, requests, ack, is_async: bool,
-                 depth: int, shard_rank: int | None = None) -> None:
+                 depth: int, shard_rank: int | None = None,
+                 chunk_params: "ChunkParams | None" = None) -> None:
         self.rank = rank
         self._requests = requests
         self._ack = ack
@@ -183,6 +266,15 @@ class FunnelStore:
         self.writer = _WriterShim(depth) if self._is_async else None
         self.last_write_nbytes = 0
         self.last_write_kind = KIND_FULL
+        self.last_write_stats: dict | None = None
+        #: when the master store is a CAS store this is its boundary
+        #: policy and writes go through the chunk-ref protocol.
+        self.chunk_params = chunk_params
+        #: worker-side change-detection baseline, mirroring the CAS
+        #: store's: field -> (value hash, refs).  Skips re-chunking and
+        #: re-hashing fields that didn't move between checkpoints.
+        self._cas_base: dict[str, tuple[bytes, list]] = {}
+        self._shard_cache: dict[int, FunnelStore] = {}
         #: the rank's shared-memory data plane, wired post-fork by the
         #: worker (the client objects themselves are built pre-fork).
         self.plane: "DataPlane | None" = None
@@ -195,41 +287,148 @@ class FunnelStore:
     def shard(self, rank: int) -> "FunnelStore":
         if self._shard_rank is not None:
             raise ValueError("shard stores cannot be sharded again")
-        sub = FunnelStore(rank=self.rank, requests=self._requests,
-                          ack=self._ack, is_async=False, depth=0,
-                          shard_rank=rank)
+        # cached so the shard's chunk baseline survives across
+        # checkpoints, like the master store's cached shard sub-stores.
+        sub = self._shard_cache.get(rank)
+        if sub is None:
+            sub = self._make_shard(rank)
+            self._shard_cache[rank] = sub
         sub.plane = self.plane
         return sub
 
+    def _make_shard(self, rank: int) -> "FunnelStore":
+        return FunnelStore(rank=self.rank, requests=self._requests,
+                           ack=self._ack, is_async=False, depth=0,
+                           shard_rank=rank, chunk_params=self.chunk_params)
+
     # ------------------------------------------------------------------
-    def _rpc(self, op: str, payload) -> tuple[int, str]:
+    def _rpc(self, op: str, payload) -> tuple:
         self._requests.put((op, self.rank, self._shard_rank, payload))
-        status, a, b = self._ack.get(timeout=120.0)
+        status, a, b, stats = self._ack.get(timeout=120.0)
         if status != "ok":
             raise RuntimeError(f"checkpoint funnel failed in parent:\n{a}")
-        return a, b
+        return a, b, stats
 
     def write(self, snap: "Snapshot") -> None:
-        from time import perf_counter
-
         from repro.trace import schema as _tc
         from repro.trace.plane import tracer as trace_writer
 
         tr = trace_writer()
         tw0 = perf_counter() if tr.active else 0.0
+        if self.chunk_params is not None:
+            nbytes = self._write_chunked(snap)
+            if tr.active:
+                tr.span(_tc.CKPT_FUNNEL, tw0, a=float(nbytes))
+            return
         payload: "Snapshot | PackedSnapshot" = snap
         if self.plane is not None:
             # large array fields ride slabs; the synchronous ack below
             # bounds the lease (the parent recycles before replying).
             payload = PackedSnapshot.pack(snap, self.plane)
-        nbytes, kind = self._rpc(_OP_WRITE, payload)
+        nbytes, kind, stats = self._rpc(_OP_WRITE, payload)
         self.last_write_nbytes = nbytes
         self.last_write_kind = kind
+        self.last_write_stats = stats
         # the funnel round-trip is the worker's real checkpoint-write
         # cost (pack + ship + parent write + ack); covers the framed-TCP
         # variant too, which only overrides ``_rpc``.
         if tr.active:
             tr.span(_tc.CKPT_FUNNEL, tw0, a=float(nbytes))
+
+    # ------------------------------------------------------------------
+    # the chunk-ref write protocol (CAS master store)
+    # ------------------------------------------------------------------
+    def _write_chunked(self, snap: "Snapshot") -> int:
+        from repro.ckpt.chunker import chunk_refs
+        from repro.ckpt.delta import content_hash_value
+        from repro.trace import schema as _tc
+        from repro.trace.plane import tracer as trace_writer
+        from repro.util.serialization import dumps_portable
+
+        tr = trace_writer()
+        # 1. chunk + hash locally, skipping unchanged fields.
+        tc0 = perf_counter() if tr.active else 0.0
+        field_refs: dict[str, list] = {}
+        blobs: dict[str, bytes] = {}
+        new_base: dict[str, tuple[bytes, list]] = {}
+        for name, value in snap.fields.items():
+            vhash = content_hash_value(value)
+            cached = self._cas_base.get(name)
+            if cached is not None and cached[0] == vhash:
+                refs = cached[1]
+            else:
+                blob = dumps_portable(value)
+                blobs[name] = blob
+                refs = [(d, b - a)
+                        for d, a, b in chunk_refs(blob, self.chunk_params)]
+            field_refs[name] = refs
+            new_base[name] = (vhash, refs)
+        if tr.active:
+            tr.span(_tc.CKPT_CHUNK, tc0,
+                    a=float(sum(len(r) for r in field_refs.values())))
+        # 2. presence handshake: which digests must actually travel?
+        tp0 = perf_counter() if tr.active else 0.0
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for refs in field_refs.values():
+            for d, _ in refs:
+                if d not in seen:
+                    seen.add(d)
+                    ordered.append(d)
+        missing, _, _ = self._rpc(_OP_MISSING, ordered)
+        try:
+            nbytes, kind, stats = self._ship(snap, field_refs, blobs,
+                                             set(missing))
+        except RuntimeError as exc:
+            if CAS_CHUNK_MISSING not in str(exc):
+                raise
+            # the handshake raced a GC in the parent: one retry with
+            # every chunk payload aboard settles it.
+            nbytes, kind, stats = self._ship(snap, field_refs, blobs, seen)
+        if tr.active:
+            tr.span(_tc.CKPT_PACK, tp0, a=float(len(missing)))
+        self.last_write_nbytes = nbytes
+        self.last_write_kind = kind
+        self.last_write_stats = stats
+        self._cas_base = new_base
+        return nbytes
+
+    def _ship(self, snap: "Snapshot", field_refs: dict, blobs: dict,
+              needed: set) -> tuple:
+        """One chunked-write RPC carrying the payloads in ``needed``."""
+        from repro.util.serialization import dumps_portable
+
+        payloads: dict[str, bytes] = {}
+        for name, refs in field_refs.items():
+            if not any(d in needed and d not in payloads for d, _ in refs):
+                continue
+            blob = blobs.get(name)
+            if blob is None:
+                # an unchanged (baseline-cached) field whose chunk the
+                # parent nonetheless lacks: re-encode to slice it out.
+                blob = dumps_portable(snap.fields[name])
+            mv, off = memoryview(blob), 0
+            for d, ln in refs:
+                if d in needed and d not in payloads:
+                    payloads[d] = bytes(mv[off:off + ln])
+                off += ln
+        cs = ChunkedSnapshot(app=snap.app,
+                             safepoint_count=snap.safepoint_count,
+                             mode=snap.mode, meta=snap.meta,
+                             field_refs=field_refs)
+        if self.plane is not None and payloads:
+            import numpy as np
+
+            # missing chunks ride the slab plane as one packed buffer.
+            self.plane.start_pack()
+            index = [(d, len(p)) for d, p in payloads.items()]
+            buf = np.frombuffer(b"".join(payloads[d] for d, _ in index),
+                                dtype=np.uint8)
+            cs.chunk_index = index
+            cs.chunk_data = self.plane.pack_exact(buf)
+        else:
+            cs.chunks = payloads
+        return self._rpc(_OP_WRITE, cs)
 
     def flush(self) -> None:
         self._rpc(_OP_FLUSH, None)
@@ -289,7 +488,8 @@ class SocketCheckpointFunnel(CheckpointFunnel):
     def client(self, rank: int) -> "SocketFunnelStore":
         return SocketFunnelStore(
             rank=rank, address=self.address, is_async=self.store.is_async,
-            depth=self.store.writer.depth if self.store.is_async else 0)
+            depth=self.store.writer.depth if self.store.is_async else 0,
+            chunk_params=getattr(self.store, "chunk_params", None))
 
     def start(self) -> None:
         self._thread = threading.Thread(target=self._accept_loop,
@@ -370,10 +570,11 @@ class SocketFunnelStore(FunnelStore):
     """
 
     def __init__(self, rank: int, address: tuple[str, int], is_async: bool,
-                 depth: int, shard_rank: int | None = None) -> None:
+                 depth: int, shard_rank: int | None = None,
+                 chunk_params: "ChunkParams | None" = None) -> None:
         super().__init__(rank=rank, requests=None, ack=None,
                          is_async=is_async, depth=depth,
-                         shard_rank=shard_rank)
+                         shard_rank=shard_rank, chunk_params=chunk_params)
         self._address = address
         self._conn = None  # lazy: dialled post-fork on first RPC
 
@@ -385,13 +586,12 @@ class SocketFunnelStore(FunnelStore):
     def plane(self, value) -> None:  # noqa: ARG002 - see class docstring
         pass
 
-    def shard(self, rank: int) -> "SocketFunnelStore":
-        if self._shard_rank is not None:
-            raise ValueError("shard stores cannot be sharded again")
+    def _make_shard(self, rank: int) -> "SocketFunnelStore":
         return SocketFunnelStore(rank=self.rank, address=self._address,
-                                 is_async=False, depth=0, shard_rank=rank)
+                                 is_async=False, depth=0, shard_rank=rank,
+                                 chunk_params=self.chunk_params)
 
-    def _rpc(self, op: str, payload) -> tuple[int, str]:
+    def _rpc(self, op: str, payload) -> tuple:
         import pickle
         import socket
 
@@ -409,7 +609,7 @@ class SocketFunnelStore(FunnelStore):
             else _recv_exact(self._conn, _LEN.unpack(head)[0])
         if body is None:
             raise RuntimeError("checkpoint funnel connection closed")
-        status, a, b = pickle.loads(body)
+        status, a, b, stats = pickle.loads(body)
         if status != "ok":
             raise RuntimeError(f"checkpoint funnel failed in parent:\n{a}")
-        return a, b
+        return a, b, stats

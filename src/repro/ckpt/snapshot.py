@@ -34,9 +34,11 @@ from repro.util.serialization import (
 
 FORMAT_VERSION = 2
 
-#: container kinds: a full restorable state vs. an incremental delta.
+#: container kinds: a full restorable state, an incremental delta, or a
+#: chunk recipe (a manifest of CAS chunk refs — see :mod:`repro.ckpt.cas`).
 KIND_FULL = "full"
 KIND_DELTA = "delta"
+KIND_RECIPE = "recipe"
 
 
 class SnapshotCorrupt(RuntimeError):

@@ -273,8 +273,7 @@ class CheckpointStore:
         if not set(range(nranks)) <= set(ranks):
             return None
         try:
-            shards = [root] + [self.shard(r).read(count)
-                               for r in range(1, nranks)]
+            shards = [root] + self._read_shards(count, nranks)
         except (SnapshotCorrupt, OSError):
             return None
         fields: dict = {}
@@ -300,6 +299,10 @@ class CheckpointStore:
             int(sh.meta.get("disk_nbytes", sh.nbytes)) for sh in shards)
         snap.meta.pop("shard", None)
         return snap
+
+    def _read_shards(self, count: int, nranks: int) -> "list[Snapshot]":
+        """Read shards 1..nranks-1 (hook: the CAS store parallelises)."""
+        return [self.shard(r).read(count) for r in range(1, nranks)]
 
     def assemble_latest_from_shards(self, partitioned: dict | None = None
                                     ) -> Snapshot | None:

@@ -643,6 +643,7 @@ class ExecutionContext:
             tele = telemetry_writer()
             tele.inc(_ts.CKPT_BYTES, float(self.store.last_write_nbytes))
             tele.inc(_ts.CKPT_WRITES)
+            self._count_chunk_stats(tele, self.store)
         if tr.active:
             tr.span(_tc.CHECKPOINT, tw0, a=self.clock().now,
                     b=float(count))
@@ -724,6 +725,7 @@ class ExecutionContext:
         tele = telemetry_writer()
         tele.inc(_ts.CKPT_BYTES, float(shard.last_write_nbytes))
         tele.inc(_ts.CKPT_WRITES)
+        self._count_chunk_stats(tele, shard)
         self.rankctx.comm.barrier()
         if tr.active:
             tr.span(_tc.CHECKPOINT_LOCAL, tw0, a=self.clock().now,
@@ -735,6 +737,18 @@ class ExecutionContext:
                       asynchronous=shard.is_async,
                       strategy="local",
                       save_seconds=self.clock().now - t0)
+
+    @staticmethod
+    def _count_chunk_stats(tele, store) -> None:
+        """Mirror a CAS store's per-write chunk stats into this rank's
+        telemetry page (no-op for plain/delta stores)."""
+        stats = getattr(store, "last_write_stats", None)
+        if not stats:
+            return
+        tele.inc(_ts.CKPT_CHUNKS_NEW, float(stats.get("chunks_new", 0)))
+        tele.inc(_ts.CKPT_CHUNKS_DEDUP, float(stats.get("chunks_dedup", 0)))
+        tele.inc(_ts.CKPT_DEDUP_SAVED,
+                 float(stats.get("dedup_saved_bytes", 0)))
 
     def _restore(self, snap: Snapshot | None, count: int) -> None:
         """Load checkpoint data at the replay target (Figure 2b, step 4).
@@ -752,6 +766,9 @@ class ExecutionContext:
                 if snap.meta.get("from_disk"):
                     self.clock().charge_io(self.machine.disk.read_cost(
                         snap.meta.get("disk_nbytes", snap.nbytes)))
+                if snap.meta.get("cas_fetches"):
+                    telemetry_writer().inc(
+                        _ts.CKPT_FETCHES, float(snap.meta["cas_fetches"]))
                 self._restore_into_root(snap)
             for f in self.safedata:
                 if self._shared(f):
@@ -773,6 +790,9 @@ class ExecutionContext:
             if snap.meta.get("from_disk"):
                 self.clock().charge_io(self.machine.disk.read_cost(
                     snap.meta.get("disk_nbytes", snap.nbytes)))
+            if snap.meta.get("cas_fetches"):
+                telemetry_writer().inc(
+                    _ts.CKPT_FETCHES, float(snap.meta["cas_fetches"]))
             snap.restore_into(self.instance)
         if tr.active:
             tr.span(_tc.RESTORE, tw0, a=self.clock().now, b=float(count))

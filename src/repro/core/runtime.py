@@ -117,6 +117,8 @@ class Runtime:
                  ckpt_compress_min_bytes: int | None = None,
                  ckpt_async: bool = False,
                  ckpt_async_depth: int = 2,
+                 ckpt_cas: bool = False,
+                 ckpt_cas_params=None,
                  registry=None,
                  store: CheckpointStore | None = None,
                  ledger: RunLedger | None = None,
@@ -138,6 +140,18 @@ class Runtime:
             ckpt_anchor_every = AdaptiveAnchor()
         if store is not None:
             self.store: CheckpointStore = store
+        elif ckpt_cas:
+            # the checkpoint object store: content-defined chunk recipes
+            # over a dedup CAS (takes precedence over ckpt_delta — a
+            # recipe already writes only the chunks that changed).
+            from repro.ckpt.cas import CasCheckpointStore
+            from repro.ckpt.chunker import DEFAULT_PARAMS
+
+            self.store = CasCheckpointStore(
+                ckpt_dir,
+                chunk_params=(ckpt_cas_params if ckpt_cas_params is not None
+                              else DEFAULT_PARAMS),
+                compress_min_bytes=ckpt_compress_min_bytes)
         elif ckpt_delta:
             self.store = IncrementalCheckpointStore(
                 ckpt_dir, anchor=ckpt_anchor_every,
@@ -195,6 +209,37 @@ class Runtime:
                     lambda: float(writer.busy_seconds),
                     help="Wall seconds the async writer spent in disk "
                          "writes (the overlap it buys)")
+            cas = getattr(self.store, "cas", None)
+            if cas is not None:
+                # the chunk store's cumulative counters, parent-side:
+                # restore fan-out and GC happen in the driver, where no
+                # rank telemetry page is bound.
+                st = self.store
+                self.metrics.gauge_fn(
+                    "repro_ckpt_cas_chunks_stored",
+                    lambda: float(cas.chunks_stored),
+                    help="Distinct chunks the CAS stored")
+                self.metrics.gauge_fn(
+                    "repro_ckpt_cas_bytes_stored",
+                    lambda: float(cas.bytes_stored),
+                    help="On-disk bytes of stored chunks")
+                self.metrics.gauge_fn(
+                    "repro_ckpt_cas_dedup_bytes_saved",
+                    lambda: float(cas.bytes_deduped),
+                    help="Payload bytes satisfied by already-stored chunks")
+                self.metrics.gauge_fn(
+                    "repro_ckpt_cas_chunks_swept",
+                    lambda: float(cas.chunks_swept),
+                    help="Unreferenced chunks reclaimed by GC")
+                self.metrics.gauge_fn(
+                    "repro_ckpt_restore_fetches",
+                    lambda: float(st.restore_fetches_total),
+                    help="Chunk fetches performed by parallel restores")
+                self.metrics.gauge_fn(
+                    "repro_ckpt_restore_seconds",
+                    lambda: float(st.restore_seconds_total),
+                    help="Wall seconds spent fetching + decoding chunks "
+                         "on restores")
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -139,15 +139,25 @@ class PhaseDriver:
                 snap = ae.snapshot
                 if step.via_restart:
                     store.flush()
+                    if tracing is not None:
+                        # restore-side store spans (chunk-fetch fan-out)
+                        # record on the driver track.
+                        from repro.trace.plane import bind as _tbind
+
+                        _tbind(tracing.driver)
                     try:
-                        # the checkpoint at the exit point, regardless of
-                        # whether newer checkpoints exist on disk.
-                        disk = store.read(step.at)
-                    except (SnapshotCorrupt, OSError):
-                        # no master-format file: a STRATEGY_LOCAL phase
-                        # saved per-rank shards instead — reassemble.
-                        disk = store.assemble_from_shards(
-                            step.at, partitioned)
+                        try:
+                            # the checkpoint at the exit point, regardless
+                            # of whether newer checkpoints exist on disk.
+                            disk = store.read(step.at)
+                        except (SnapshotCorrupt, OSError):
+                            # no master-format file: a STRATEGY_LOCAL phase
+                            # saved per-rank shards instead — reassemble.
+                            disk = store.assemble_from_shards(
+                                step.at, partitioned)
+                    finally:
+                        if tracing is not None:
+                            _tbind(None)
                     if disk is None:
                         raise WeaveError(
                             "restart-based adaptation found no checkpoint "
@@ -189,11 +199,19 @@ class PhaseDriver:
             restarts += 1
             if restarts > max_restarts:
                 raise fail
-            snap = store.read_latest()
-            if snap is None:
-                # survivable STRATEGY_LOCAL: reassemble the newest
-                # complete shard set into a master-format snapshot.
-                snap = store.assemble_latest_from_shards(partitioned)
+            if tracing is not None:
+                from repro.trace.plane import bind as _tbind
+
+                _tbind(tracing.driver)
+            try:
+                snap = store.read_latest()
+                if snap is None:
+                    # survivable STRATEGY_LOCAL: reassemble the newest
+                    # complete shard set into a master-format snapshot.
+                    snap = store.assemble_latest_from_shards(partitioned)
+            finally:
+                if tracing is not None:
+                    _tbind(None)
             if snap is not None:
                 snap.meta["from_disk"] = True
                 replay = ReplayState.from_snapshot(snap)

@@ -67,7 +67,8 @@ class RuntimeService:
                  plane_threshold: int | None = None,
                  max_queue: int = 256, arena: bool = True,
                  join_timeout: float = 120.0,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1",
+                 ckpt_cas: bool = False) -> None:
         if lanes < 1 or workers < 1:
             raise ValueError("need at least one worker and one lane")
         self.fleet = WorkerFleet(workers=workers, lanes=lanes,
@@ -77,7 +78,16 @@ class RuntimeService:
         self.machine = machine if machine is not None else MachineModel()
         self.policy = policy if policy is not None else Never()
         self.ckpt_dir = ckpt_dir or tempfile.mkdtemp(prefix="repro-svc-")
-        self.store = CheckpointStore(self.ckpt_dir)
+        #: with ``ckpt_cas`` every job namespace shares one dedup CAS —
+        #: a job checkpointing state another job already wrote stores
+        #: only a recipe; namespace teardown GCs what no job references.
+        self.ckpt_cas = ckpt_cas
+        if ckpt_cas:
+            from repro.ckpt.cas import CasCheckpointStore
+
+            self.store: CheckpointStore = CasCheckpointStore(self.ckpt_dir)
+        else:
+            self.store = CheckpointStore(self.ckpt_dir)
         self.queue = JobQueue(max_queue)
         self.join_timeout = join_timeout
         pricing = BackendRegistry()
@@ -396,6 +406,16 @@ class RuntimeService:
             job.error = traceback.format_exc()
             job.status = "error"
         finally:
+            if self.ckpt_cas:
+                # job-namespace teardown: drop the job's recipes and
+                # sweep every chunk no surviving job references.  The
+                # job's funnel traffic has drained (rt.run returned and
+                # the backend unregistered its store), so nothing can
+                # re-reference the swept chunks.
+                try:
+                    self.store.namespace(str(job.id)).clear()
+                except Exception:  # noqa: BLE001 - job teardown is
+                    pass           # best-effort; the next GC catches up
             job.finished_at = time.monotonic()
             with self._lock:
                 self._running.pop(job.id, None)

@@ -77,6 +77,9 @@ class JobTicket:
     max_ranks: int
     funnel_async: bool
     funnel_depth: int
+    #: the job store's chunking policy when it is a CAS store — workers
+    #: then funnel chunk refs + missing payloads instead of snapshots.
+    chunk_params: object | None = None
     #: whether the parent created a telemetry plane for this launch —
     #: workers attach their rank page only when told to.
     telemetry: bool = False
@@ -124,7 +127,7 @@ class _FleetWorkerBackend(MultiprocessBackend):
                     specs.append((f, arr.shape, arr.dtype.str))
             # rank 0 alone knows the field shapes (it builds the
             # instance first), so the arena lease is its RPC to make.
-            names, _ = ctx.store._rpc("arena", specs)
+            names, _, _ = ctx.store._rpc("arena", specs)
         return _place_shared_fields(ctx, instance, comm, launch_id,
                                     names_of=names)
 
@@ -183,7 +186,7 @@ def _worker_main(boot: _WorkerBoot) -> None:
                 store = FunnelStore(
                     rank=(t.job, boot.wid), requests=boot.requests,
                     ack=boot.ack, is_async=t.funnel_async,
-                    depth=t.funnel_depth)
+                    depth=t.funnel_depth, chunk_params=t.chunk_params)
                 services = PhaseServices(
                     machine=t.machine, log=EventLog(), store=None,
                     policy=t.policy, ckpt_strategy=t.ckpt_strategy,
@@ -404,6 +407,7 @@ class WorkerFleet:
             ckpt_strategy=services.ckpt_strategy, backend=wbackend,
             max_ranks=self.workers, funnel_async=store.is_async,
             funnel_depth=store.writer.depth if store.is_async else 0,
+            chunk_params=getattr(store, "chunk_params", None),
             telemetry=services.metrics is not None,
             trace=services.trace is not None,
             trace_capacity=(services.trace.capacity

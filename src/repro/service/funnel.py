@@ -53,10 +53,10 @@ class FleetFunnel(CheckpointFunnel):
     def _lease(self, job: str, specs) -> tuple:
         try:
             if self.arena is None:
-                return ("ok", None, None)
-            return ("ok", self.arena.lease(job, specs), None)
+                return ("ok", None, None, None)
+            return ("ok", self.arena.lease(job, specs), None, None)
         except Exception:  # noqa: BLE001 - worker must not hang on us
-            return ("error", traceback.format_exc(), None)
+            return ("error", traceback.format_exc(), None, None)
 
     def _serve(self) -> None:
         while True:
@@ -73,7 +73,8 @@ class FleetFunnel(CheckpointFunnel):
             store = self._stores.get(job)
             if store is None:
                 self.acks[wid].put(
-                    ("error", f"no store registered for job {job!r}", None))
+                    ("error", f"no store registered for job {job!r}",
+                     None, None))
                 continue
             self.acks[wid].put(self._handle(op, shard_rank, payload,
                                             store=store))

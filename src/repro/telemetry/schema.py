@@ -132,6 +132,18 @@ SCHEMA: tuple[MetricSpec, ...] = (
        "Field-region bytes this rank pushed during membership reshapes."),
     _c("repro_elastic_reshapes_total",
        "In-place membership reshapes this rank completed."),
+    # -- ckpt: the content-addressed chunk store (appended: the page
+    # layout is positional) ---------------------------------------------
+    _c("repro_ckpt_chunks_written_total",
+       "New chunks this rank's checkpoints added to the CAS."),
+    _c("repro_ckpt_chunks_deduped_total",
+       "Chunk references this rank's checkpoints satisfied from chunks "
+       "already stored."),
+    _c("repro_ckpt_dedup_bytes_saved_total",
+       "Payload bytes this rank's checkpoints never wrote because the "
+       "CAS already held them."),
+    _c("repro_ckpt_restore_fetches_total",
+       "Chunk fetches performed restoring state into this rank."),
 )
 
 # layout pass: assign word offsets (header first, then slots in order).
@@ -186,3 +198,7 @@ CKPT_BYTES = _slot("repro_ckpt_bytes_total")
 CKPT_WRITES = _slot("repro_ckpt_writes_total")
 MOVE_BYTES = _slot("repro_elastic_move_bytes_total")
 RESHAPES = _slot("repro_elastic_reshapes_total")
+CKPT_CHUNKS_NEW = _slot("repro_ckpt_chunks_written_total")
+CKPT_CHUNKS_DEDUP = _slot("repro_ckpt_chunks_deduped_total")
+CKPT_DEDUP_SAVED = _slot("repro_ckpt_dedup_bytes_saved_total")
+CKPT_FETCHES = _slot("repro_ckpt_restore_fetches_total")

@@ -82,11 +82,16 @@ NAMES: tuple[str, ...] = (
     "recv",               # RECV — matched receive (dur = wait)
     "tcp_frame",          # TCP_FRAME — one framed wire send
     "event",              # EVENT — an EventLog entry as an instant
+    "ckpt_chunk",         # CKPT_CHUNK — chunk + hash a snapshot's fields
+    "ckpt_pack",          # CKPT_PACK — CAS handshake + missing-chunk ship
+    "ckpt_gc",            # CKPT_GC — CAS mark-and-sweep pass
+    "ckpt_fetch",         # CKPT_FETCH — parallel chunk fetch of a restore
 )
 
 (PHASE, SAFEPOINT, CHECKPOINT, CHECKPOINT_LOCAL, CAPTURE, CKPT_WRITE,
  CKPT_FLUSH, CKPT_FUNNEL, RESTORE, ADAPT_EXIT, TEAM_RESIZE, MOVES,
- RENDEZVOUS, SWITCH, SEND, RECV, TCP_FRAME, EVENT) = range(len(NAMES))
+ RENDEZVOUS, SWITCH, SEND, RECV, TCP_FRAME, EVENT, CKPT_CHUNK,
+ CKPT_PACK, CKPT_GC, CKPT_FETCH) = range(len(NAMES))
 
 
 def name_of(code: float | int) -> str:
